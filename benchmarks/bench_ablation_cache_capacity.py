@@ -1,0 +1,63 @@
+"""Ablation — route cache capacity.
+
+Hu & Johnson (cited in the paper's related work) studied cache capacity
+alongside structure; the paper fixed one size.  This ablation sweeps the
+per-node path-cache capacity for base DSR and for the all-techniques
+variant.  Expectation: bigger caches help base DSR store alternates but
+also hoard stale routes; with the correctness techniques active, capacity
+stops mattering because stale stock is actively purged.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import sweep
+from repro.analysis.tables import format_series
+from repro.core.config import DsrConfig
+
+from benchmarks.conftest import bench_scenario, bench_seeds
+
+_CAPACITIES = [8, 32, 64]
+
+
+def test_ablation_cache_capacity(run_once):
+    seeds = bench_seeds()
+
+    def experiment():
+        series = {}
+        for name, base in (
+            ("DSR", DsrConfig.base()),
+            ("AllTechniques", DsrConfig.all_techniques()),
+        ):
+            series[name] = sweep(
+                lambda capacity, seed, b=base: bench_scenario(
+                    pause_time=0.0,
+                    packet_rate=3.0,
+                    dsr=b.but(cache_capacity=int(capacity)),
+                    seed=seed,
+                ),
+                _CAPACITIES,
+                seeds,
+                label=lambda capacity: f"{int(capacity)} paths",
+            )
+        return series
+
+    series = run_once(experiment)
+    print()
+    for name, points in series.items():
+        print(f"Ablation: cache capacity [{name}] (pause 0, 3 pkt/s)")
+        print(
+            format_series(
+                points,
+                metrics=("pdf", "overhead", "invalid_cache_pct"),
+                x_title="capacity",
+            )
+        )
+        print()
+
+    for points in series.values():
+        for point in points:
+            assert 0.0 <= point.metric("pdf") <= 1.0
+    # With the techniques active the capacity axis should be nearly flat.
+    combined = series["AllTechniques"]
+    pdfs = [point.metric("pdf") for point in combined]
+    assert max(pdfs) - min(pdfs) < 0.12

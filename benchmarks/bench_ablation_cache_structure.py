@@ -1,0 +1,59 @@
+"""Ablation — path cache versus link cache under the same expiry strategy.
+
+The paper uses a path cache and notes (section 5) that Hu & Johnson's
+route-expiry study used link caches instead.  This ablation runs both
+cache organisations, each with and without adaptive expiry, on identical
+scenarios.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import compare_variants
+from repro.analysis.tables import format_table
+from repro.core.config import DsrConfig
+
+from benchmarks.conftest import bench_scenario, bench_seeds
+
+
+def test_ablation_cache_structure(run_once):
+    seeds = bench_seeds()
+    variants = {
+        "path cache": DsrConfig.base(),
+        "path cache + adaptive expiry": DsrConfig.with_adaptive_expiry(),
+        "link cache": DsrConfig(use_link_cache=True),
+        "link cache + adaptive expiry": DsrConfig.with_adaptive_expiry().but(
+            use_link_cache=True
+        ),
+    }
+
+    def experiment():
+        return compare_variants(
+            {
+                name: (
+                    lambda seed, d=dsr: bench_scenario(
+                        pause_time=0.0, packet_rate=3.0, dsr=d, seed=seed
+                    )
+                )
+                for name, dsr in variants.items()
+            },
+            seeds,
+        )
+
+    rows = run_once(experiment)
+    print()
+    print("Ablation: cache structure x expiry (pause 0, 3 pkt/s)")
+    print(
+        format_table(
+            rows,
+            metrics=("pdf", "delay", "overhead", "invalid_cache_pct"),
+            row_title="cache",
+        )
+    )
+
+    for name, aggregate_row in rows.items():
+        assert 0.0 <= aggregate_row["pdf"] <= 1.0
+    # Expiry should reduce stale cache hits for both organisations.
+    assert (
+        rows["path cache + adaptive expiry"]["invalid_cache_pct"]
+        <= rows["path cache"]["invalid_cache_pct"] + 1.0
+    )

@@ -1,0 +1,49 @@
+"""Extension — AODV versus DSR on the paper's scenario.
+
+The paper's conclusion (section 6) conjectures the caching techniques
+would help "any other protocol that uses caching moderately", naming AODV
+(which caches indirectly via intermediate-node replies).  This benchmark
+runs AODV over the same scenario family as the DSR variants, giving the
+cross-protocol context the conjecture needs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import compare_variants
+from repro.analysis.tables import format_table
+from repro.core.config import DsrConfig
+
+from benchmarks.conftest import bench_scenario, bench_seeds
+
+
+def test_ext_aodv_vs_dsr(run_once):
+    seeds = bench_seeds()
+
+    def experiment():
+        def dsr_config(seed, dsr):
+            return bench_scenario(pause_time=0.0, packet_rate=3.0, dsr=dsr, seed=seed)
+
+        def aodv_config(seed):
+            config = bench_scenario(
+                pause_time=0.0, packet_rate=3.0, dsr=DsrConfig.base(), seed=seed
+            )
+            return config.but(protocol="aodv")
+
+        return compare_variants(
+            {
+                "DSR (base)": lambda seed: dsr_config(seed, DsrConfig.base()),
+                "DSR (all techniques)": lambda seed: dsr_config(
+                    seed, DsrConfig.all_techniques()
+                ),
+                "AODV": aodv_config,
+            },
+            seeds,
+        )
+
+    rows = run_once(experiment)
+    print()
+    print("Extension: AODV vs DSR variants (pause 0, 3 pkt/s)")
+    print(format_table(rows, metrics=("pdf", "delay", "overhead"), row_title="protocol"))
+
+    for aggregate_row in rows.values():
+        assert 0.0 < aggregate_row["pdf"] <= 1.0

@@ -1,0 +1,58 @@
+"""Extension — energy per delivered packet.
+
+"Limited bandwidth and battery power" is the paper's opening motivation;
+normalized overhead is its bandwidth metric.  This benchmark adds the
+battery twin: radio energy (Feeney-Nilsson WaveLAN power model) divided by
+delivered data packets, for base DSR versus the combined techniques.
+Stale-route transmissions cost energy at the sender *and* at every
+overhearing neighbour, so cache correctness should show up directly.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.stats import mean_confidence_interval
+from repro.core.config import DsrConfig
+from repro.scenarios.builder import build_simulation
+
+from benchmarks.conftest import bench_scenario, bench_seeds
+
+
+def _energy_per_packet(dsr: DsrConfig, seed: int) -> tuple[float, float]:
+    config = bench_scenario(pause_time=0.0, packet_rate=3.0, dsr=dsr, seed=seed).but(
+        track_energy=True
+    )
+    handle = build_simulation(config)
+    result = handle.run()
+    delivered = max(result.data_received, 1)
+    communication_j = handle.energy.communication_joules()
+    return communication_j / delivered, result.packet_delivery_fraction
+
+
+def test_ext_energy_per_packet(run_once):
+    seeds = bench_seeds()
+
+    def experiment():
+        rows = {}
+        for name, dsr in (
+            ("DSR (base)", DsrConfig.base()),
+            ("DSR (all techniques)", DsrConfig.all_techniques()),
+        ):
+            samples = [_energy_per_packet(dsr, seed) for seed in seeds]
+            energy = mean_confidence_interval([s[0] for s in samples])
+            pdf = mean_confidence_interval([s[1] for s in samples])
+            rows[name] = (energy, pdf)
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print("Extension: communication energy per delivered packet (pause 0, 3 pkt/s)")
+    for name, ((energy_mean, energy_ci), (pdf_mean, _)) in rows.items():
+        print(
+            f"  {name:24s} {energy_mean * 1000:8.2f} mJ/pkt (+/- {energy_ci * 1000:.2f})"
+            f"   delivery {pdf_mean:.3f}"
+        )
+
+    base_energy = rows["DSR (base)"][0][0]
+    combined_energy = rows["DSR (all techniques)"][0][0]
+    # Cache correctness must not cost energy per useful packet.
+    assert combined_energy <= base_energy * 1.05

@@ -1,0 +1,58 @@
+"""Extension — relative route freshness (the paper's section 6 future work).
+
+Replies carry a generation timestamp; receivers date-check routes against
+their link-break history and cache information at its true age (see
+:mod:`repro.core.freshness`).  Compared against base DSR and against the
+paper's three techniques, alone and combined.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import compare_variants
+from repro.analysis.tables import format_table
+from repro.core.config import DsrConfig
+
+from benchmarks.conftest import bench_scenario, bench_seeds
+
+
+def test_ext_freshness_tags(run_once):
+    seeds = bench_seeds()
+    variants = {
+        "base DSR": DsrConfig.base(),
+        "freshness tags": DsrConfig.with_freshness_tags(),
+        "all techniques": DsrConfig.all_techniques(),
+        "all + freshness": DsrConfig.all_techniques().but(freshness_tags=True),
+    }
+
+    def experiment():
+        return compare_variants(
+            {
+                name: (
+                    lambda seed, d=dsr: bench_scenario(
+                        pause_time=0.0, packet_rate=3.0, dsr=d, seed=seed
+                    )
+                )
+                for name, dsr in variants.items()
+            },
+            seeds,
+        )
+
+    rows = run_once(experiment)
+    print()
+    print("Extension: freshness-tagged replies (pause 0, 3 pkt/s)")
+    print(
+        format_table(
+            rows,
+            metrics=("pdf", "overhead", "good_replies_pct", "invalid_cache_pct"),
+            row_title="variant",
+        )
+    )
+
+    base = rows["base DSR"]
+    fresh = rows["freshness tags"]
+    # Date-checking replies must not wreck delivery (rejecting stale
+    # information without a replacement route is roughly neutral; allow
+    # generous single-seed noise).
+    assert fresh["pdf"] >= base["pdf"] - 0.12
+    for row in rows.values():
+        assert 0.0 <= row["pdf"] <= 1.0

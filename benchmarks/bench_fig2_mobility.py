@@ -1,0 +1,54 @@
+"""Figure 2 — performance versus mobility (pause time).
+
+Paper setup: pause time swept from 0 (constant motion) to the run length
+(static network), packet rate fixed at 3 pkt/s; five curves: base DSR, the
+three techniques individually, and all techniques combined.
+
+Expected shape: the combined variant wins on all three metrics at low
+pause times (paper: ~16 % delivery, ~22 % overhead, ~40 % delay at pause
+0); adaptive expiry > wider error > negative cache among the individual
+techniques; all variants converge as mobility vanishes.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import sweep
+from repro.analysis.tables import format_series
+from repro.core.config import PAPER_VARIANTS
+
+from benchmarks.conftest import bench_duration, bench_scenario, bench_seeds
+
+
+def test_fig2_mobility_sweep(run_once):
+    seeds = bench_seeds()
+    pauses = [0.0, bench_duration() / 3.0, bench_duration()]
+
+    def experiment():
+        series = {}
+        for name, dsr in PAPER_VARIANTS.items():
+            series[name] = sweep(
+                lambda pause, seed, d=dsr: bench_scenario(
+                    pause_time=pause, packet_rate=3.0, dsr=d, seed=seed
+                ),
+                pauses,
+                seeds,
+                label=lambda pause: f"{pause:g}",
+            )
+        return series
+
+    series = run_once(experiment)
+    print()
+    for name, points in series.items():
+        print(f"Figure 2 [{name}]: metrics vs pause time (s)")
+        print(format_series(points, x_title="pause"))
+        print()
+
+    # Shape checks at the high-mobility end (pause 0).
+    at_zero = {name: points[0] for name, points in series.items()}
+    base = at_zero["DSR"]
+    combined = at_zero["AllTechniques"]
+    assert combined.metric("pdf") >= base.metric("pdf") - 0.05
+    assert combined.metric("overhead") <= base.metric("overhead") * 1.15
+    for points in series.values():
+        for point in points:
+            assert 0.0 <= point.metric("pdf") <= 1.0

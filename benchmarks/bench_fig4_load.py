@@ -1,0 +1,61 @@
+"""Figure 4 — performance versus offered load.
+
+Paper setup: constant mobility (pause 0); the per-session CBR rate sweeps
+the aggregate offered load; metrics are received throughput, delay and
+normalized overhead.
+
+Expected shape: the combined techniques outperform base DSR across the
+load range, with the gap growing at higher loads (where stale-route
+pollution — the negative cache's target — is worst).
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import sweep
+from repro.analysis.tables import format_series
+from repro.core.config import PAPER_VARIANTS
+
+from benchmarks.conftest import bench_scenario, bench_seeds
+
+_VARIANTS = ("DSR", "AdaptiveExpiry", "AllTechniques")
+_RATES = [1.0, 3.0, 6.0]
+
+
+def test_fig4_load_sweep(run_once):
+    seeds = bench_seeds()
+
+    def experiment():
+        series = {}
+        for name in _VARIANTS:
+            dsr = PAPER_VARIANTS[name]
+            series[name] = sweep(
+                lambda rate, seed, d=dsr: bench_scenario(
+                    pause_time=0.0, packet_rate=rate, dsr=d, seed=seed
+                ),
+                _RATES,
+                seeds,
+                label=lambda rate: f"{rate:g} pkt/s",
+            )
+        return series
+
+    series = run_once(experiment)
+    print()
+    for name, points in series.items():
+        print(f"Figure 4 [{name}]: metrics vs offered load")
+        print(
+            format_series(
+                points,
+                metrics=("throughput_kbps", "delay", "overhead", "pdf"),
+                x_title="rate",
+            )
+        )
+        print()
+
+    # Shape: throughput must rise with offered load for every variant, and
+    # the combined variant must at least match base DSR at the top rate.
+    for name, points in series.items():
+        throughputs = [point.metric("throughput_kbps") for point in points]
+        assert throughputs[0] < throughputs[-1]
+    top_base = series["DSR"][-1].metric("throughput_kbps")
+    top_combined = series["AllTechniques"][-1].metric("throughput_kbps")
+    assert top_combined >= top_base * 0.9

@@ -1,0 +1,57 @@
+"""Robustness — do the paper's conclusions survive different assumptions?
+
+The paper's evaluation is random-waypoint over an ideal disk radio.  This
+benchmark re-runs base DSR vs all-techniques under:
+
+* Gauss-Markov mobility (smooth correlated motion),
+* RPGM group mobility (bursty inter-group link churn), and
+* a lossy radio (20 % grey zone at the cell edge),
+
+checking that the combined techniques never *hurt* — the conclusion's
+robustness, not its magnitude.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.series import compare_variants
+from repro.analysis.tables import format_table
+from repro.core.config import DsrConfig
+
+from benchmarks.conftest import bench_scenario, bench_seeds
+
+_ENVIRONMENTS = {
+    "waypoint": {},
+    "gauss-markov": {"mobility_model": "gauss_markov"},
+    "rpgm": {"mobility_model": "rpgm", "rpgm_groups": 4},
+    "grey zone 20%": {"grey_zone_fraction": 0.2},
+}
+
+
+def test_robustness_environments(run_once):
+    seeds = bench_seeds()
+
+    def experiment():
+        rows = {}
+        for env_name, overrides in _ENVIRONMENTS.items():
+            for variant_name, dsr in (
+                ("DSR", DsrConfig.base()),
+                ("AllTechniques", DsrConfig.all_techniques()),
+            ):
+                def make(seed, d=dsr, o=overrides):
+                    return bench_scenario(
+                        pause_time=0.0, packet_rate=3.0, dsr=d, seed=seed
+                    ).but(**o)
+
+                key = f"{env_name} / {variant_name}"
+                rows.update(compare_variants({key: make}, seeds))
+        return rows
+
+    rows = run_once(experiment)
+    print()
+    print("Robustness: base DSR vs all techniques across environments")
+    print(format_table(rows, metrics=("pdf", "delay", "overhead"), row_title="environment / variant"))
+
+    for env_name in _ENVIRONMENTS:
+        base = rows[f"{env_name} / DSR"]
+        combined = rows[f"{env_name} / AllTechniques"]
+        assert combined["pdf"] >= base["pdf"] - 0.08, env_name

@@ -1,0 +1,65 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure from the paper's evaluation
+(section 4.3) on a *scaled* scenario by default; see
+:mod:`repro.scenarios.presets` for how the scaling preserves density and
+workload.  Environment knobs:
+
+``REPRO_BENCH_SEEDS``
+    Comma-separated seeds, one run per seed per point (default ``1``; the
+    paper averaged five mobility scenarios — set ``1,2,3,4,5`` to match).
+``REPRO_BENCH_DURATION``
+    Simulated seconds per run (default ``90``).
+``REPRO_BENCH_SCALE``
+    ``scaled`` (default) or ``paper`` for the full 100-node setup (slow:
+    minutes per data point).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List
+
+import pytest
+
+from repro.core.config import DsrConfig
+from repro.scenarios import presets
+from repro.scenarios.config import ScenarioConfig
+
+
+def bench_seeds() -> List[int]:
+    raw = os.environ.get("REPRO_BENCH_SEEDS", "1")
+    return [int(chunk) for chunk in raw.split(",") if chunk.strip()]
+
+
+def bench_duration() -> float:
+    return float(os.environ.get("REPRO_BENCH_DURATION", "90"))
+
+
+def bench_scenario(
+    pause_time: float,
+    packet_rate: float,
+    dsr: DsrConfig,
+    seed: int,
+) -> ScenarioConfig:
+    if os.environ.get("REPRO_BENCH_SCALE", "scaled") == "paper":
+        return presets.paper_scenario(
+            pause_time=pause_time, packet_rate=packet_rate, dsr=dsr, seed=seed
+        )
+    return presets.scaled_scenario(
+        pause_time=pause_time,
+        packet_rate=packet_rate,
+        dsr=dsr,
+        seed=seed,
+        duration=bench_duration(),
+    )
+
+
+@pytest.fixture
+def run_once(benchmark):
+    """Run a whole experiment exactly once under pytest-benchmark timing."""
+
+    def runner(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""How the adaptive timeout heuristic behaves.
+
+Feeds one :class:`~repro.core.expiry.AdaptiveTimeout` policy two workloads:
+
+* *uniform breaks* — a route breaks every ~5 s; the timeout settles near
+  alpha x 5 s, tracking the average route lifetime;
+* *bursty breaks* — clusters of quick breaks separated by long quiet gaps;
+  the second term (time since last break) keeps the timeout growing through
+  the quiet periods instead of expiring perfectly good routes.
+
+This reproduces the reasoning in the paper's section 3 for why
+``T = max(alpha * avg_lifetime, time_since_last_break)``.
+
+    python examples/adaptive_timeout_demo.py
+"""
+
+from repro.core.expiry import AdaptiveTimeout
+
+
+def run_pattern(name: str, break_times: list[float], lifetime: float) -> None:
+    policy = AdaptiveTimeout(alpha=2.0, min_timeout=1.0)
+    print(f"== {name} ==")
+    print(f"{'time (s)':>9}  {'avg lifetime':>12}  {'timeout T':>9}")
+    samples = sorted(set([t + 0.01 for t in break_times] + list(range(0, 61, 5))))
+    breaks = iter(sorted(break_times))
+    upcoming = next(breaks, None)
+    for t in samples:
+        while upcoming is not None and upcoming <= t:
+            policy.on_route_break(lifetime, now=upcoming)
+            policy.on_link_break(now=upcoming)
+            upcoming = next(breaks, None)
+        timeout = policy.timeout(t)
+        avg = policy.average_lifetime
+        print(
+            f"{t:9.2f}  "
+            f"{avg if avg is not None else float('nan'):12.2f}  "
+            f"{timeout if timeout is not None else float('nan'):9.2f}"
+        )
+    print()
+
+
+def main() -> None:
+    # Breaks arrive steadily every 5 s; each broken route lived ~5 s.
+    run_pattern("uniform breaks (every 5 s)", [5.0 * k for k in range(1, 12)], 5.0)
+
+    # Two bursts of rapid breaks at t~5 and t~40, quiet in between.
+    bursty = [5.0, 5.5, 6.0, 40.0, 40.5, 41.0]
+    run_pattern("bursty breaks (clusters at t=5 and t=40)", bursty, 0.5)
+
+    print(
+        "Note how, in the bursty pattern, T grows with the quiet gap\n"
+        "(second term) instead of staying pinned at alpha * 0.5 s = 1 s —\n"
+        "without it, every route cached during the quiet period would be\n"
+        "expired almost immediately."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The "quick pollution" problem — and how the negative cache stops it.
+
+Reconstructs the exact pathology from the paper's section 3 at packet level:
+
+1. A chain 0-1-2-3 carries a CBR stream; every node caches the route.
+2. Node 2 walks away: node 1 detects the break and cleans its cache.
+3. But packets already in flight upstream still carry the stale route, so
+   the moment node 1 forwards (or overhears) one, the dead link is written
+   straight back into its cache — pollution within milliseconds of cleanup.
+4. With the negative cache enabled, the broken link is quarantined and the
+   re-insertion is refused.
+
+The script runs both configurations on the identical scenario and prints,
+for node 1, every cache insertion/removal involving the broken link.
+
+    python examples/cache_pollution_demo.py
+"""
+
+from repro.core.config import DsrConfig
+from repro.mobility.base import MobilityModel
+from repro.mobility.trajectory import Segment, Trajectory
+from repro.traffic.cbr import CbrSource
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir))
+from tests.helpers import build_net_from_mobility  # reuse the test harness
+
+
+def chain_with_departure():
+    positions = [(0.0, 0.0), (220.0, 0.0), (440.0, 0.0), (660.0, 0.0)]
+    trajectories = {}
+    for node_id, (x, y) in enumerate(positions):
+        if node_id == 2:
+            trajectories[node_id] = Trajectory(
+                [
+                    Segment(t0=0.0, x0=x, y0=y, vx=0.0, vy=0.0),
+                    Segment(t0=3.0, x0=x, y0=y, vx=0.0, vy=150.0),
+                ]
+            )
+        else:
+            trajectories[node_id] = Trajectory.stationary(x, y)
+    return MobilityModel(trajectories)
+
+
+def run(name: str, dsr: DsrConfig) -> None:
+    print(f"=== {name} ===")
+    net = build_net_from_mobility(chain_with_departure(), dsr=dsr)
+    watcher = net.agent(1)
+    broken = (1, 2)
+
+    # Wrap the cache's add/remove to narrate what happens to the dead link.
+    original_add = watcher.cache.add
+    original_remove = watcher.cache.remove_link
+
+    cleaned_once = [False]
+
+    def narrating_add(route, now):
+        added = original_add(route, now)
+        if added and any((a, b) == broken for a, b in zip(route, route[1:])):
+            label = (
+                "RE-LEARNED stale link (pollution!)"
+                if cleaned_once[0]
+                else "cached route over link"
+            )
+            print(f"  {now * 1000:9.1f} ms  node 1 cache: {label} {broken} via {list(route)}")
+        return added
+
+    def narrating_remove(link, now):
+        lifetimes = original_remove(link, now)
+        if link == broken and lifetimes:
+            cleaned_once[0] = True
+            print(f"  {now * 1000:9.1f} ms  node 1 cache: cleaned {len(lifetimes)} route(s) with {link}")
+        return lifetimes
+
+    watcher.cache.add = narrating_add
+    watcher.cache.remove_link = narrating_remove
+
+    CbrSource(net.sim, net.nodes[0], dst=3, rate=20.0, start=0.1, stop=6.0)
+    net.sim.run(until=8.0)
+
+    polluted = watcher.cache.contains_link(broken)
+    print(f"  final state: node 1 cache {'STILL CONTAINS' if polluted else 'is clean of'} {broken}")
+    print()
+
+
+def main() -> None:
+    print("Chain 0-1-2-3 at 20 pkt/s; node 2 departs at t = 3 s.\n")
+    run("Base DSR (no negative cache)", DsrConfig.base())
+    run("DSR + negative cache", DsrConfig.with_negative_cache())
+
+
+if __name__ == "__main__":
+    main()

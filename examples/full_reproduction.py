@@ -1,0 +1,36 @@
+#!/usr/bin/env python3
+"""Reproduce the whole paper with one call and write a markdown report.
+
+    python examples/full_reproduction.py                 # quick sanity scale
+    python examples/full_reproduction.py --scale scaled  # benchmark scale
+    python examples/full_reproduction.py --scale paper   # full scale (hours)
+"""
+
+import argparse
+import sys
+
+from repro.paper import reproduce
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", choices=("quick", "scaled", "paper"), default="quick")
+    parser.add_argument("--seeds", default="1,2", help="comma-separated seeds")
+    parser.add_argument("--out", default="reproduction_report.md")
+    args = parser.parse_args()
+
+    seeds = [int(chunk) for chunk in args.seeds.split(",") if chunk.strip()]
+    report = reproduce(
+        scale=args.scale,
+        seeds=seeds,
+        progress=lambda message: print(f"... {message}", file=sys.stderr),
+    )
+    markdown = report.to_markdown()
+    with open(args.out, "w") as handle:
+        handle.write(markdown + "\n")
+    print(markdown)
+    print(f"\n(report written to {args.out})", file=sys.stderr)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""A miniature of the paper's Figure 2: performance versus mobility.
+
+Sweeps the random-waypoint pause time (0 = constant motion, run length =
+static network) for base DSR and the combined-techniques variant, averaging
+a couple of seeds per point, and prints the three routing metrics as a
+table per variant.
+
+    python examples/mobility_sweep.py          # quick (2 seeds, 60 s runs)
+    python examples/mobility_sweep.py --full   # denser sweep
+"""
+
+import argparse
+
+from repro.analysis.series import sweep
+from repro.analysis.tables import format_series
+from repro.core.config import DsrConfig
+from repro.scenarios.presets import scaled_scenario
+
+DURATION = 60.0
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="denser sweep, more seeds")
+    args = parser.parse_args()
+
+    pauses = [0.0, 20.0, DURATION] if not args.full else [0.0, 10.0, 20.0, 40.0, DURATION]
+    seeds = [1, 2] if not args.full else [1, 2, 3, 4, 5]
+
+    variants = {
+        "Base DSR": DsrConfig.base(),
+        "All techniques": DsrConfig.all_techniques(),
+    }
+    for name, dsr in variants.items():
+        points = sweep(
+            lambda pause, seed, d=dsr: scaled_scenario(
+                pause_time=pause, packet_rate=3.0, dsr=d, seed=seed, duration=DURATION
+            ),
+            pauses,
+            seeds,
+            label=lambda pause: f"{pause:g}",
+        )
+        print(f"== {name}: metrics vs pause time (s) ==")
+        print(format_series(points, x_title="pause"))
+        print()
+
+
+if __name__ == "__main__":
+    main()

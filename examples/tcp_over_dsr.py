@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""TCP meets stale route caches.
+
+The paper's related work (Holland & Vaidya) found that stale DSR routes are
+particularly brutal for TCP: a dead source route stalls the flow, TCP calls
+it congestion, and the window collapses.  This example runs greedy Tahoe
+flows over the mobile scenario with base DSR and with the paper's three
+techniques, printing per-flow goodput and the senders' loss signals.
+
+    python examples/tcp_over_dsr.py
+"""
+
+from repro.core.config import DsrConfig
+from repro.scenarios.builder import build_simulation
+from repro.scenarios.presets import scaled_scenario
+
+
+def run(name: str, dsr: DsrConfig, seed: int = 2) -> float:
+    config = scaled_scenario(
+        pause_time=0.0, dsr=dsr, seed=seed, duration=60.0
+    ).but(traffic_type="tcp", num_sessions=4)
+    handle = build_simulation(config)
+    handle.sim.run(until=config.duration)
+
+    print(f"--- {name} ---")
+    total = 0
+    for source, sink in zip(handle.sources, handle.sinks):
+        goodput = sink.goodput_segments * config.payload_bytes * 8 / 1000.0 / config.duration
+        total += sink.goodput_segments
+        print(
+            f"  flow {source.flow}: {goodput:6.1f} kb/s   "
+            f"retransmits={source.retransmissions:<4d} timeouts={source.timeouts}"
+        )
+    aggregate = total * config.payload_bytes * 8 / 1000.0 / config.duration
+    print(f"  aggregate goodput: {aggregate:.1f} kb/s\n")
+    return aggregate
+
+
+def main() -> None:
+    print("4 greedy TCP (Tahoe) flows, 30 mobile nodes, 60 s, constant motion\n")
+    base = run("Base DSR", DsrConfig.base())
+    combined = run("DSR + all three techniques", DsrConfig.all_techniques())
+    change = (combined / base - 1.0) * 100.0 if base > 0 else float("inf")
+    print(f"Goodput change from cache-correctness techniques: {change:+.1f} %")
+
+
+if __name__ == "__main__":
+    main()

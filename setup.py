@@ -1,0 +1,6 @@
+"""Shim for environments without the ``wheel`` package (offline PEP 660
+editable installs need it); lets ``pip install -e . --no-use-pep517`` work."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""Reproduction of Marina & Das, "Performance of Route Caching Strategies in
+Dynamic Source Routing" (ICDCS 2001).
+
+The package is a self-contained discrete-event simulator for mobile ad hoc
+networks (MANETs) together with a full implementation of the Dynamic Source
+Routing (DSR) protocol and the paper's three cache-correctness techniques:
+wider error notification, timer-based route expiry with adaptive timeout
+selection, and negative caches.
+
+High-level entry points:
+
+* :class:`repro.scenarios.ScenarioConfig` / :func:`repro.scenarios.run_scenario`
+  — configure and run a complete simulation, returning a
+  :class:`repro.metrics.SimulationResult`.
+* :class:`repro.core.DsrConfig` — toggles for every protocol feature and
+  caching strategy studied in the paper.
+* :mod:`repro.analysis` — helpers that aggregate results over seeds and render
+  the paper's tables and figure series.
+"""
+
+from repro.version import __version__
+
+from repro.core.config import DsrConfig
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.builder import build_simulation, run_scenario
+from repro.metrics.collector import MetricsCollector, SimulationResult
+
+
+def reproduce(*args, **kwargs):
+    """Run the paper's full evaluation; see :func:`repro.paper.reproduce`."""
+    from repro.paper import reproduce as _reproduce
+
+    return _reproduce(*args, **kwargs)
+
+
+__all__ = [
+    "__version__",
+    "DsrConfig",
+    "ScenarioConfig",
+    "build_simulation",
+    "run_scenario",
+    "MetricsCollector",
+    "SimulationResult",
+    "reproduce",
+]

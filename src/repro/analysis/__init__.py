@@ -1,0 +1,44 @@
+"""Aggregation and presentation of simulation results: multi-seed averaging
+with confidence intervals, and ASCII renderings of the paper's tables and
+figure series."""
+
+from repro.analysis.stats import Aggregate, aggregate, mean_confidence_interval
+from repro.analysis.series import SweepPoint, compare_variants, sweep
+from repro.analysis.tables import format_table, format_series
+from repro.analysis.plot import render_chart, render_sweep
+from repro.analysis.export import result_to_json, sweep_to_csv, table_to_csv
+from repro.analysis.runner import parallel_sweep, run_many
+from repro.analysis.compare import Comparison, compare, compare_results
+from repro.analysis.netmap import render_topology
+from repro.analysis.topology import (
+    average_degree,
+    average_path_length,
+    link_lifetimes,
+    partition_fraction,
+)
+
+__all__ = [
+    "Aggregate",
+    "aggregate",
+    "mean_confidence_interval",
+    "SweepPoint",
+    "sweep",
+    "compare_variants",
+    "format_table",
+    "format_series",
+    "render_chart",
+    "render_sweep",
+    "result_to_json",
+    "sweep_to_csv",
+    "table_to_csv",
+    "run_many",
+    "parallel_sweep",
+    "compare",
+    "compare_results",
+    "Comparison",
+    "render_topology",
+    "link_lifetimes",
+    "average_degree",
+    "average_path_length",
+    "partition_fraction",
+]

@@ -1,0 +1,97 @@
+"""Persist experiment results as CSV/JSON.
+
+Benchmarks print tables for humans; these helpers write the same data to
+files so figures can be re-plotted elsewhere without re-simulating.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, Sequence, Union
+
+from repro.analysis.series import SweepPoint
+from repro.analysis.stats import Aggregate
+from repro.metrics.collector import SimulationResult
+
+PathLike = Union[str, Path]
+
+
+def result_to_json(result: SimulationResult, path: PathLike) -> Path:
+    """Write a single run's full counters + derived metrics as JSON."""
+    path = Path(path)
+    payload = {
+        "derived": result.to_dict(),
+        "counters": {
+            "duration": result.duration,
+            "data_sent": result.data_sent,
+            "data_received": result.data_received,
+            "duplicate_deliveries": result.duplicate_deliveries,
+            "mac_control_tx": result.mac_control_tx,
+            "routing_tx": result.routing_tx,
+            "data_tx": result.data_tx,
+            "mac_failures": result.mac_failures,
+            "ifq_drops": result.ifq_drops,
+            "rreq_sent": result.rreq_sent,
+            "replies_received": result.replies_received,
+            "good_replies": result.good_replies,
+            "cache_hits": result.cache_hits,
+            "invalid_cache_hits": result.invalid_cache_hits,
+            "link_breaks": result.link_breaks,
+            "salvages": result.salvages,
+            "drop_reasons": result.drop_reasons,
+        },
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+    return path
+
+
+def sweep_to_csv(
+    points: Sequence[SweepPoint],
+    path: PathLike,
+    metrics: Sequence[str] = ("pdf", "delay", "overhead"),
+    x_title: str = "x",
+) -> Path:
+    """One row per x value; mean and 95 % CI half-width per metric."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = [x_title]
+        for metric in metrics:
+            header += [metric, f"{metric}_ci95"]
+        writer.writerow(header)
+        for point in points:
+            row = [point.label]
+            for metric in metrics:
+                row += [
+                    f"{point.aggregate.means[metric]:.6g}",
+                    f"{point.aggregate.half_widths[metric]:.6g}",
+                ]
+            writer.writerow(row)
+    return path
+
+
+def table_to_csv(
+    aggregates: Dict[str, Aggregate],
+    path: PathLike,
+    metrics: Sequence[str] = ("pdf", "delay", "overhead"),
+    row_title: str = "variant",
+) -> Path:
+    """One row per variant (e.g. the paper's Table 3)."""
+    path = Path(path)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = [row_title]
+        for metric in metrics:
+            header += [metric, f"{metric}_ci95"]
+        writer.writerow(header)
+        for name, aggregate in aggregates.items():
+            row = [name]
+            for metric in metrics:
+                row += [
+                    f"{aggregate.means[metric]:.6g}",
+                    f"{aggregate.half_widths[metric]:.6g}",
+                ]
+            writer.writerow(row)
+    return path

@@ -1,0 +1,74 @@
+"""ASCII snapshots of the network topology.
+
+Renders node positions (and optionally radio links) at an instant as a
+character grid — enough to eyeball a scenario's shape in a terminal or a
+test log without plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.mobility.base import MobilityModel
+
+
+def render_topology(
+    mobility: MobilityModel,
+    t: float,
+    width_chars: int = 60,
+    height_chars: int = 18,
+    rx_range: Optional[float] = None,
+    field: Optional[Tuple[float, float]] = None,
+) -> str:
+    """Draw node positions at time ``t``.
+
+    Nodes are labelled with their id's last character ring (0-9, then
+    letters); if ``rx_range`` is given, links are sketched with ``.``
+    midpoints between connected pairs.  ``field`` fixes the world extent
+    (else the bounding box of the nodes plus margin).
+    """
+    if width_chars < 10 or height_chars < 5:
+        raise ValueError("map too small")
+    ids = mobility.node_ids
+    positions = {node_id: mobility.position(node_id, t) for node_id in ids}
+    if field is not None:
+        min_x, min_y = 0.0, 0.0
+        max_x, max_y = field
+    else:
+        xs = [p[0] for p in positions.values()]
+        ys = [p[1] for p in positions.values()]
+        margin = 10.0
+        min_x, max_x = min(xs) - margin, max(xs) + margin
+        min_y, max_y = min(ys) - margin, max(ys) + margin
+    span_x = max(max_x - min_x, 1e-9)
+    span_y = max(max_y - min_y, 1e-9)
+
+    def to_cell(x: float, y: float) -> Tuple[int, int]:
+        cx = int((x - min_x) / span_x * (width_chars - 1))
+        cy = int((y - min_y) / span_y * (height_chars - 1))
+        return min(max(cx, 0), width_chars - 1), min(max(cy, 0), height_chars - 1)
+
+    grid: List[List[str]] = [[" "] * width_chars for _ in range(height_chars)]
+
+    if rx_range is not None:
+        for i, a in enumerate(ids):
+            for b in ids[i + 1 :]:
+                if mobility.distance(a, b, t) <= rx_range:
+                    ax, ay = positions[a]
+                    bx, by = positions[b]
+                    cx, cy = to_cell((ax + bx) / 2, (ay + by) / 2)
+                    if grid[cy][cx] == " ":
+                        grid[cy][cx] = "."
+
+    labels = "0123456789abcdefghijklmnopqrstuvwxyz"
+    for node_id in ids:
+        cx, cy = to_cell(*positions[node_id])
+        grid[cy][cx] = labels[node_id % len(labels)]
+
+    border = "+" + "-" * width_chars + "+"
+    body = [f"|{''.join(row)}|" for row in reversed(grid)]  # y grows upward
+    footer = (
+        f"t={t:g}s  field x:[{min_x:.0f},{max_x:.0f}] y:[{min_y:.0f},{max_y:.0f}]"
+        + (f"  rx={rx_range:g}m" if rx_range is not None else "")
+    )
+    return "\n".join([border] + body + [border, footer])

@@ -1,0 +1,62 @@
+"""Parallel experiment execution.
+
+A figure is dozens of independent simulations; this runner fans them out
+over worker processes.  Configurations travel as JSON dicts (see
+:mod:`repro.scenarios.io`) so workers rebuild everything from scratch —
+no shared state, perfectly reproducible.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.series import SweepPoint
+from repro.analysis.stats import aggregate
+from repro.metrics.collector import SimulationResult
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.io import scenario_from_dict, scenario_to_dict
+
+
+def _run_payload(payload: dict) -> SimulationResult:
+    from repro.scenarios.builder import run_scenario
+
+    return run_scenario(scenario_from_dict(payload))
+
+
+def run_many(
+    configs: Sequence[ScenarioConfig],
+    processes: Optional[int] = None,
+) -> List[SimulationResult]:
+    """Run every configuration, in order, across worker processes.
+
+    ``processes=1`` (or a single config) degrades to in-process execution,
+    which keeps debugging and coverage runs simple.
+    """
+    payloads = [scenario_to_dict(config) for config in configs]
+    if processes == 1 or len(payloads) <= 1:
+        return [_run_payload(payload) for payload in payloads]
+    processes = processes or min(len(payloads), multiprocessing.cpu_count())
+    context = multiprocessing.get_context("spawn")
+    with context.Pool(processes=processes) as pool:
+        return pool.map(_run_payload, payloads)
+
+
+def parallel_sweep(
+    make_config: Callable[[float, int], ScenarioConfig],
+    xs: Sequence[float],
+    seeds: Sequence[int],
+    processes: Optional[int] = None,
+    label: Callable[[float], str] = lambda x: f"{x:g}",
+) -> List[SweepPoint]:
+    """Parallel equivalent of :func:`repro.analysis.series.sweep`."""
+    grid = [(x, seed) for x in xs for seed in seeds]
+    results = run_many(
+        [make_config(x, seed) for x, seed in grid], processes=processes
+    )
+    by_x: Dict[float, List[SimulationResult]] = {x: [] for x in xs}
+    for (x, _seed), result in zip(grid, results):
+        by_x[x].append(result)
+    return [
+        SweepPoint(x=x, label=label(x), aggregate=aggregate(by_x[x])) for x in xs
+    ]

@@ -1,0 +1,56 @@
+"""Parameter sweeps: run a scenario family over an axis, multiple seeds per
+point, and collect aggregated metrics — the shape of every figure in the
+paper's evaluation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.analysis.stats import Aggregate, aggregate
+from repro.scenarios.builder import run_scenario
+from repro.scenarios.config import ScenarioConfig
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One x-axis value of a figure, averaged over seeds."""
+
+    x: float
+    label: str
+    aggregate: Aggregate
+
+    def metric(self, name: str) -> float:
+        return self.aggregate.means[name]
+
+
+def sweep(
+    make_config: Callable[[float, int], ScenarioConfig],
+    xs: Sequence[float],
+    seeds: Sequence[int],
+    label: Callable[[float], str] = lambda x: f"{x:g}",
+) -> List[SweepPoint]:
+    """Run ``make_config(x, seed)`` for every (x, seed) pair.
+
+    Seeds vary the mobility scenario while the traffic pattern stays tied
+    to the seed stream, mirroring the paper's "identical traffic models,
+    different randomly generated mobility scenarios".
+    """
+    points: List[SweepPoint] = []
+    for x in xs:
+        results = [run_scenario(make_config(x, seed)) for seed in seeds]
+        points.append(SweepPoint(x=x, label=label(x), aggregate=aggregate(results)))
+    return points
+
+
+def compare_variants(
+    variants: Dict[str, Callable[[int], ScenarioConfig]],
+    seeds: Sequence[int],
+) -> Dict[str, Aggregate]:
+    """Run several protocol variants over the same seeds (one table row
+    each), e.g. the paper's Table 3."""
+    output: Dict[str, Aggregate] = {}
+    for name, make_config in variants.items():
+        results = [run_scenario(make_config(seed)) for seed in seeds]
+        output[name] = aggregate(results)
+    return output

@@ -1,0 +1,88 @@
+"""Plain-text rendering of sweep results, in the shape of the paper's
+tables and figures (one row per x value / variant, one column per metric)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.series import SweepPoint
+from repro.analysis.stats import Aggregate
+
+_DEFAULT_METRICS = ("pdf", "delay", "overhead")
+
+_METRIC_TITLES = {
+    "pdf": "delivery fraction",
+    "delay": "avg delay (s)",
+    "overhead": "normalized overhead",
+    "throughput_kbps": "throughput (kb/s)",
+    "good_replies_pct": "good replies (%)",
+    "invalid_cache_pct": "invalid cached routes (%)",
+    "data_sent": "data sent",
+    "data_received": "data received",
+    "routing_tx": "routing tx",
+    "mac_control_tx": "MAC control tx",
+    "link_breaks": "link breaks",
+}
+
+
+def _fmt(value: float) -> str:
+    if value != value or value in (float("inf"), float("-inf")):
+        return "inf"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:.2f}"
+    return f"{value:.4f}"
+
+
+def format_series(
+    points: Sequence[SweepPoint],
+    metrics: Sequence[str] = _DEFAULT_METRICS,
+    x_title: str = "x",
+    show_ci: bool = True,
+) -> str:
+    """A figure as text: rows are x-axis values, columns are metrics."""
+    headers = [x_title] + [_METRIC_TITLES.get(m, m) for m in metrics]
+    rows: List[List[str]] = []
+    for point in points:
+        row = [point.label]
+        for metric in metrics:
+            cell = _fmt(point.aggregate.means[metric])
+            if show_ci and point.aggregate.runs > 1:
+                cell += f" ±{_fmt(point.aggregate.half_widths[metric])}"
+            row.append(cell)
+        rows.append(row)
+    return _render(headers, rows)
+
+
+def format_table(
+    aggregates: Dict[str, Aggregate],
+    metrics: Sequence[str] = _DEFAULT_METRICS,
+    row_title: str = "variant",
+    show_ci: bool = False,
+) -> str:
+    """A comparison table: rows are protocol variants."""
+    headers = [row_title] + [_METRIC_TITLES.get(m, m) for m in metrics]
+    rows: List[List[str]] = []
+    for name, agg in aggregates.items():
+        row = [name]
+        for metric in metrics:
+            cell = _fmt(agg.means[metric])
+            if show_ci and agg.runs > 1:
+                cell += f" ±{_fmt(agg.half_widths[metric])}"
+            row.append(cell)
+        rows.append(row)
+    return _render(headers, rows)
+
+
+def _render(headers: List[str], rows: List[List[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: List[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    divider = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    return "\n".join([line(headers), divider] + [line(row) for row in rows])

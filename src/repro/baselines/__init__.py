@@ -1,0 +1,14 @@
+"""Baseline / comparison protocols.
+
+The paper (section 6) conjectures its caching techniques transfer to other
+on-demand protocols such as AODV, which caches routes indirectly through
+intermediate-node replies.  :mod:`repro.baselines.aodv` provides a working
+AODV implementation over the same stack so that conjecture can be
+exercised (see ``benchmarks/bench_ext_aodv.py``).
+"""
+
+from repro.baselines.aodv.agent import AodvAgent
+from repro.baselines.aodv.table import RouteEntry, RoutingTable
+from repro.baselines.flooding import FloodingAgent
+
+__all__ = ["AodvAgent", "RoutingTable", "RouteEntry", "FloodingAgent"]

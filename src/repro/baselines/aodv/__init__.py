@@ -1,0 +1,22 @@
+"""Ad hoc On-demand Distance Vector routing (Perkins & Royer).
+
+A deliberately faithful-but-compact AODV: hop-by-hop forwarding with
+destination sequence numbers, flooded route requests with reverse-route
+setup, replies from the destination or from intermediate nodes with fresh
+routes, active-route lifetimes, and route errors on link-layer failure.
+Hello messages are omitted — link failure detection relies on MAC feedback,
+matching the DSR configuration used throughout the reproduction.
+"""
+
+from repro.baselines.aodv.agent import AodvAgent
+from repro.baselines.aodv.messages import AodvRequest, AodvReply, AodvError
+from repro.baselines.aodv.table import RouteEntry, RoutingTable
+
+__all__ = [
+    "AodvAgent",
+    "RoutingTable",
+    "RouteEntry",
+    "AodvRequest",
+    "AodvReply",
+    "AodvError",
+]

@@ -1,0 +1,45 @@
+"""AODV control message bodies (RFC 3561 shapes, simulator encoding)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class AodvRequest:
+    """RREQ: flooded route discovery."""
+
+    origin: int
+    origin_seq: int
+    target: int
+    target_seq: int  # last known destination sequence number (0 = unknown)
+    request_id: int
+    hop_count: int = 0
+
+    def header_bytes(self) -> int:
+        return 24
+
+
+@dataclass
+class AodvReply:
+    """RREP: unicast back along the reverse path."""
+
+    origin: int  # who asked
+    target: int  # route destination this reply describes
+    target_seq: int
+    hop_count: int  # hops from the replier to the target
+    lifetime: float = 10.0
+
+    def header_bytes(self) -> int:
+        return 20
+
+
+@dataclass
+class AodvError:
+    """RERR: destinations unreachable through the sender."""
+
+    unreachable: List[Tuple[int, int]] = field(default_factory=list)  # (dst, seq)
+
+    def header_bytes(self) -> int:
+        return 4 + 8 * len(self.unreachable)

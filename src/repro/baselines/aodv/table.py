@@ -1,0 +1,116 @@
+"""The AODV routing table: per-destination next hops with sequence numbers
+and active-route lifetimes."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+
+@dataclass
+class RouteEntry:
+    destination: int
+    next_hop: int
+    hop_count: int
+    seq: int
+    expires: float
+    valid: bool = True
+    precursors: Set[int] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.precursors is None:
+            self.precursors = set()
+
+
+class RoutingTable:
+    """Sequence-numbered distance-vector table (RFC 3561 semantics)."""
+
+    def __init__(self, active_route_timeout: float = 10.0):
+        self.active_route_timeout = active_route_timeout
+        self._entries: Dict[int, RouteEntry] = {}
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entry(self, dst: int) -> Optional[RouteEntry]:
+        return self._entries.get(dst)
+
+    def lookup(self, dst: int, now: float) -> Optional[RouteEntry]:
+        """A valid, unexpired entry for ``dst`` (expired entries are
+        invalidated lazily, preserving their sequence number)."""
+        entry = self._entries.get(dst)
+        if entry is None or not entry.valid:
+            return None
+        if entry.expires <= now:
+            entry.valid = False
+            return None
+        return entry
+
+    def update(
+        self,
+        dst: int,
+        next_hop: int,
+        hop_count: int,
+        seq: int,
+        now: float,
+        lifetime: Optional[float] = None,
+    ) -> bool:
+        """Install/refresh a route using RFC 3561 acceptance rules: accept a
+        strictly newer sequence number, or an equal one with fewer hops, or
+        anything when the current entry is missing/invalid."""
+        lifetime = self.active_route_timeout if lifetime is None else lifetime
+        current = self._entries.get(dst)
+        accept = (
+            current is None
+            or not current.valid
+            or seq > current.seq
+            or (seq == current.seq and hop_count < current.hop_count)
+        )
+        if not accept:
+            # Still refresh the lifetime if this confirms the same route.
+            if current.next_hop == next_hop and seq == current.seq:
+                current.expires = max(current.expires, now + lifetime)
+            return False
+        precursors = current.precursors if current is not None else set()
+        self._entries[dst] = RouteEntry(
+            destination=dst,
+            next_hop=next_hop,
+            hop_count=hop_count,
+            seq=seq,
+            expires=now + lifetime,
+            valid=True,
+            precursors=precursors,
+        )
+        return True
+
+    def refresh(self, dst: int, now: float) -> None:
+        """Extend the lifetime of an actively used route."""
+        entry = self._entries.get(dst)
+        if entry is not None and entry.valid:
+            entry.expires = max(entry.expires, now + self.active_route_timeout)
+
+    def add_precursor(self, dst: int, neighbor: int) -> None:
+        entry = self._entries.get(dst)
+        if entry is not None:
+            entry.precursors.add(neighbor)
+
+    def invalidate(self, dst: int) -> Optional[RouteEntry]:
+        """Mark a route broken; bumps its sequence number per RFC 3561."""
+        entry = self._entries.get(dst)
+        if entry is None or not entry.valid:
+            return None
+        entry.valid = False
+        entry.seq += 1
+        return entry
+
+    def routes_via(self, next_hop: int) -> List[RouteEntry]:
+        """All valid routes whose next hop is ``next_hop``."""
+        return [
+            entry
+            for entry in self._entries.values()
+            if entry.valid and entry.next_hop == next_hop
+        ]
+
+    def last_known_seq(self, dst: int) -> int:
+        entry = self._entries.get(dst)
+        return entry.seq if entry is not None else 0

@@ -1,0 +1,79 @@
+"""Controlled flooding: the no-routing baseline.
+
+Every data packet is broadcast network-wide with duplicate suppression and
+a TTL.  No routes, no caches, no maintenance — delivery is maximised (any
+path that exists is used) at maximal transmission cost.  Evaluation papers
+use flooding as the *upper bound on delivery / lower bound on efficiency*
+corner; it also makes a clean null model for the overhead metric.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.request_table import SeenTable
+from repro.net.addresses import BROADCAST
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+
+class FloodingAgent:
+    """Broadcast-everything routing for one node."""
+
+    def __init__(
+        self,
+        node_id: int,
+        sim: Simulator,
+        rng: Optional[np.random.Generator] = None,
+        tracer: Optional[Tracer] = None,
+        validity_oracle=None,  # accepted for builder symmetry; unused
+        default_ttl: int = 16,
+    ):
+        self.node_id = node_id
+        self._sim = sim
+        self._rng = rng or np.random.default_rng(node_id)
+        self._tracer = tracer or Tracer()
+        self.default_ttl = default_ttl
+        self._seen = SeenTable(capacity=4096, lifetime=60.0)
+        self.node = None
+
+    def attach(self, node) -> None:
+        self.node = node
+
+    # ------------------------------------------------------------------
+
+    def originate(self, packet: Packet) -> None:
+        if packet.dst == self.node_id:
+            self.node.deliver_to_app(packet)
+            return
+        flooded = packet.clone(ttl=self.default_ttl)
+        self._seen.insert(packet.uid, self._sim.now)
+        self.node.mac.enqueue(flooded, BROADCAST)
+
+    def handle_packet(self, packet: Packet) -> None:
+        if self._seen.seen(packet.uid, self._sim.now):
+            return
+        self._seen.insert(packet.uid, self._sim.now)
+        if packet.dst == self.node_id:
+            self.node.deliver_to_app(packet)
+            return
+        if packet.ttl > 1:
+            forwarded = packet.clone(ttl=packet.ttl - 1)
+            jitter = float(self._rng.uniform(0.0, 0.01))
+            self._sim.schedule(jitter, self.node.mac.enqueue, forwarded, BROADCAST)
+
+    # ------------------------------------------------------------------
+    # Stack-wiring hooks (nothing to do: no unicast, no snooping).
+    # ------------------------------------------------------------------
+
+    def handle_promiscuous(self, packet: Packet) -> None:
+        pass
+
+    def handle_unicast_success(self, packet: Packet, next_hop: int) -> None:
+        pass
+
+    def handle_unicast_failure(self, packet: Packet, next_hop: int) -> None:
+        pass

@@ -1,0 +1,202 @@
+"""Command-line entry point: ``repro-run``.
+
+Runs one scenario and prints the paper's metrics, e.g.::
+
+    repro-run --preset scaled --variant AllTechniques --pause-time 0 --seed 3
+    repro-run --preset paper --variant DSR --packet-rate 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.core.config import PAPER_VARIANTS, DsrConfig, ExpiryMode
+from repro.scenarios import presets
+from repro.scenarios.builder import run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-run",
+        description=(
+            "Run one DSR route-caching simulation (Marina & Das, ICDCS 2001 "
+            "reproduction) and print the paper's metrics."
+        ),
+    )
+    parser.add_argument(
+        "--preset",
+        choices=("tiny", "scaled", "paper"),
+        default="scaled",
+        help="scenario scale (default: scaled; 'paper' is the full 100-node setup)",
+    )
+    parser.add_argument(
+        "--variant",
+        choices=sorted(PAPER_VARIANTS),
+        default="DSR",
+        help="protocol variant from the paper's evaluation (default: DSR)",
+    )
+    parser.add_argument("--pause-time", type=float, default=0.0, help="seconds (0 = constant mobility)")
+    parser.add_argument("--packet-rate", type=float, default=3.0, help="packets/s per CBR session")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--seeds",
+        default=None,
+        metavar="S1,S2,...",
+        help="run several seeds and report means with 95%% CIs (overrides --seed)",
+    )
+    parser.add_argument(
+        "--static-timeout",
+        type=float,
+        default=None,
+        help="use a static route expiry timeout of this many seconds",
+    )
+    parser.add_argument("--duration", type=float, default=None, help="override simulated seconds")
+    parser.add_argument(
+        "--protocol",
+        choices=("dsr", "aodv"),
+        default="dsr",
+        help="routing protocol (aodv ignores --variant)",
+    )
+    parser.add_argument(
+        "--mobility",
+        choices=("waypoint", "gauss_markov", "rpgm"),
+        default="waypoint",
+        help="mobility model (default: the paper's random waypoint)",
+    )
+    parser.add_argument(
+        "--grey-zone",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="lossy outer fraction of the radio range (0 = ideal disk)",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the full result record as JSON to PATH",
+    )
+    parser.add_argument(
+        "--config",
+        metavar="PATH",
+        default=None,
+        help="load the complete scenario from a JSON file (overrides every other scenario flag)",
+    )
+    parser.add_argument(
+        "--save-config",
+        metavar="PATH",
+        default=None,
+        help="write the effective scenario to a JSON file (reload with --config)",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.config is not None:
+        from repro.scenarios.io import load_scenario
+
+        config = load_scenario(args.config)
+        return _run_and_report(args, config)
+
+    dsr: DsrConfig = PAPER_VARIANTS[args.variant]
+    if args.static_timeout is not None:
+        dsr = dsr.but(expiry_mode=ExpiryMode.STATIC, static_timeout=args.static_timeout)
+
+    if args.preset == "tiny":
+        config = presets.tiny_scenario(dsr=dsr, seed=args.seed, pause_time=args.pause_time)
+        config = config.but(packet_rate=args.packet_rate)
+    elif args.preset == "scaled":
+        config = presets.scaled_scenario(
+            pause_time=args.pause_time,
+            packet_rate=args.packet_rate,
+            dsr=dsr,
+            seed=args.seed,
+        )
+    else:
+        config = presets.paper_scenario(
+            pause_time=args.pause_time,
+            packet_rate=args.packet_rate,
+            dsr=dsr,
+            seed=args.seed,
+        )
+    if args.duration is not None:
+        config = config.but(duration=args.duration)
+    config = config.but(
+        protocol=args.protocol,
+        mobility_model=args.mobility,
+        grey_zone_fraction=args.grey_zone,
+    )
+    return _run_and_report(args, config)
+
+
+def _run_and_report(args, config) -> int:
+    from repro.scenarios.checks import check_scenario
+
+    for warning in check_scenario(config):
+        print(f"warning: {warning}", file=sys.stderr)
+
+    if args.save_config is not None:
+        from repro.scenarios.io import save_scenario
+
+        path = save_scenario(config, args.save_config)
+        print(f"scenario written         : {path}", file=sys.stderr)
+
+    print(
+        f"Running {config.protocol} | {config.num_nodes} nodes, "
+        f"{config.field_width:g}x{config.field_height:g} m, "
+        f"{config.duration:g} s, pause {config.pause_time:g} s, "
+        f"{config.num_sessions} sessions @ {config.packet_rate:g} pkt/s, "
+        f"seed {config.seed}",
+        file=sys.stderr,
+    )
+
+    if args.seeds:
+        seeds = [int(chunk) for chunk in args.seeds.split(",") if chunk.strip()]
+        return _run_seed_average(args, config, seeds)
+
+    result = run_scenario(config)
+
+    print(f"packet delivery fraction : {result.packet_delivery_fraction:.4f}")
+    print(f"average delay (s)        : {result.average_delay:.4f}")
+    print(f"normalized overhead      : {result.normalized_overhead:.2f}")
+    print(f"throughput (kb/s)        : {result.throughput_kbps:.1f}")
+    print(f"good replies (%)         : {result.pct_good_replies:.1f}")
+    print(f"invalid cached routes (%): {result.pct_invalid_cache_hits:.1f}")
+    print(f"data sent/received       : {result.data_sent}/{result.data_received}")
+    print(f"link breaks              : {result.link_breaks}")
+    print(f"route requests sent      : {result.rreq_sent}")
+    if args.json is not None:
+        from repro.analysis.export import result_to_json
+
+        path = result_to_json(result, args.json)
+        print(f"result written           : {path}", file=sys.stderr)
+    return 0
+
+
+def _run_seed_average(args, config, seeds) -> int:
+    from repro.analysis.stats import aggregate
+
+    results = [run_scenario(config.but(seed=seed)) for seed in seeds]
+    agg = aggregate(results)
+
+    def line(label, metric, scale=1.0, unit=""):
+        mean = agg.means[metric] * scale
+        half = agg.half_widths[metric] * scale
+        print(f"{label:<25}: {mean:.4f} +/- {half:.4f}{unit}")
+
+    print(f"seeds                    : {seeds}")
+    line("packet delivery fraction", "pdf")
+    line("average delay (s)", "delay")
+    line("normalized overhead", "overhead")
+    line("throughput (kb/s)", "throughput_kbps")
+    line("good replies (%)", "good_replies_pct")
+    line("invalid cached routes (%)", "invalid_cache_pct")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,76 @@
+"""Relative route freshness — the paper's future-work direction.
+
+Section 6 of the paper: *"Our future work will concentrate on modifying the
+caching model in DSR so that the relative freshness of cached routes can be
+determined."*  The root problem: a route reply says nothing about *when* the
+replier learned the route, so a requester cannot tell a minute-old stale
+route from one confirmed a millisecond ago, and cannot match route
+information against break notifications it has already received.
+
+The extension implemented here (``DsrConfig.freshness_tags``):
+
+1. **Replies carry a generation timestamp.**  A reply from the destination
+   is stamped *now*; a reply served from an intermediate cache is stamped
+   with the time that cache entry was created (the information's true age).
+2. **Receivers date-check routes against known breaks.**  Every node
+   remembers when each link last broke (learned via link-layer feedback or
+   route errors).  An incoming route whose generation time *predates* the
+   last known break of a constituent link is provably suspect and is
+   truncated just before that link — the same surgery the negative cache
+   performs, but driven by information age rather than a fixed quarantine
+   window.
+3. **Receivers cache at the information's age**, so freshness ordering is
+   preserved transitively (a re-served stale route cannot masquerade as
+   fresh) and the expiry timer measures true information age.
+
+The helper below is pure logic; the agent wires it in.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.routes import route_links
+
+Link = Tuple[int, int]
+
+
+class LinkBreakHistory:
+    """Remembers when each link was last reported broken."""
+
+    def __init__(self) -> None:
+        self._broken_at: Dict[Link, float] = {}
+
+    def __len__(self) -> int:
+        return len(self._broken_at)
+
+    def record_break(self, link: Link, now: float) -> None:
+        current = self._broken_at.get(link)
+        if current is None or now > current:
+            self._broken_at[link] = now
+
+    def last_break(self, link: Link) -> float:
+        """Time of the last known break, or -inf if never seen broken."""
+        return self._broken_at.get(link, float("-inf"))
+
+    def filter_route(
+        self, route: Sequence[int], generated_at: float
+    ) -> List[int]:
+        """Truncate ``route`` before the first link whose last known break
+        is *newer* than the route information itself.
+
+        A link that broke before ``generated_at`` is fine: whoever generated
+        the route knew the link was alive again (or never knew of the
+        break, in which case the information is at least not older than the
+        break).  Only information that predates a break is suspect.
+        """
+        for index, link in enumerate(route_links(route)):
+            if self.last_break(link) > generated_at:
+                return list(route[: index + 1])
+        return list(route)
+
+    def is_suspect(self, route: Sequence[int], generated_at: float) -> bool:
+        """True if the date-check would truncate ``route``."""
+        return any(
+            self.last_break(link) > generated_at for link in route_links(route)
+        )

@@ -1,0 +1,84 @@
+"""Negative caches: remembering *broken* links.
+
+Per the paper's section 3, every node caches links it recently learned were
+broken (via its own link-layer feedback or received route errors).  For the
+next ``timeout`` seconds:
+
+* any packet to be forwarded whose source route contains such a link is
+  dropped and a route error generated;
+* the link is filtered out of any route before it enters the route cache —
+  the positive and negative caches stay mutually exclusive, which stops
+  in-flight packets from instantly re-polluting a freshly cleaned cache.
+
+Replacement is FIFO with a fixed entry budget; expiry is lazy (checked on
+read) plus an explicit purge hook.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.routes import route_links
+
+Link = Tuple[int, int]
+
+
+class NegativeCache:
+    """A FIFO cache of recently broken links."""
+
+    def __init__(self, capacity: int = 64, timeout: float = 10.0):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.capacity = capacity
+        self.timeout = timeout
+        self._entries: "OrderedDict[Link, float]" = OrderedDict()  # link -> expiry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, link: Link, now: float) -> None:
+        """Quarantine ``link`` until ``now + timeout``."""
+        if link in self._entries:
+            self._entries[link] = now + self.timeout
+            self._entries.move_to_end(link)
+            return
+        if len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)  # FIFO replacement
+        self._entries[link] = now + self.timeout
+
+    def contains(self, link: Link, now: float) -> bool:
+        expiry = self._entries.get(link)
+        if expiry is None:
+            return False
+        if expiry <= now:
+            del self._entries[link]
+            return False
+        return True
+
+    def first_bad_link(self, route: Sequence[int], now: float) -> Optional[Link]:
+        """The earliest quarantined link on ``route``, or None."""
+        for link in route_links(route):
+            if self.contains(link, now):
+                return link
+        return None
+
+    def filter_route(self, route: Sequence[int], now: float) -> List[int]:
+        """Truncate ``route`` just before its first quarantined link.
+
+        This is the pre-insertion filter keeping route cache and negative
+        cache mutually exclusive.
+        """
+        for i, link in enumerate(route_links(route)):
+            if self.contains(link, now):
+                return list(route[: i + 1])
+        return list(route)
+
+    def purge(self, now: float) -> int:
+        """Drop expired entries eagerly; returns how many were removed."""
+        stale = [link for link, expiry in self._entries.items() if expiry <= now]
+        for link in stale:
+            del self._entries[link]
+        return len(stale)

@@ -1,0 +1,23 @@
+"""Exception hierarchy for the repro package.
+
+All library-specific failures derive from :class:`ReproError` so callers can
+catch one base class at API boundaries.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly (e.g. scheduling in
+    the past, or running a simulator that was already stopped)."""
+
+
+class ConfigurationError(ReproError):
+    """A scenario or protocol configuration value is invalid."""
+
+
+class RoutingError(ReproError):
+    """A routing-layer invariant was violated (e.g. a malformed source
+    route reached the forwarding path)."""

@@ -1,0 +1,22 @@
+"""Medium access control: a CSMA/CA MAC in the style of IEEE 802.11 DCF.
+
+The properties the paper's study depends on are all here:
+
+* physical + virtual (NAV) carrier sense with DIFS deferral and
+  binary-exponential backoff,
+* RTS/CTS/DATA/ACK exchange for unicast with a retry limit, whose exhaustion
+  produces the **link-layer failure feedback** DSR uses to detect broken
+  links,
+* plain CSMA broadcast (no ACK) for floods and wide error notification,
+* a 50-packet interface queue that gives routing packets priority (as in
+  the CMU Monarch ns-2 model), and
+* per-frame accounting of RTS/CTS/ACK control overhead for the paper's
+  "normalized overhead" metric.
+"""
+
+from repro.mac.timing import MacTiming
+from repro.mac.frames import Frame, FrameKind
+from repro.mac.ifq import InterfaceQueue
+from repro.mac.dcf import DcfMac
+
+__all__ = ["MacTiming", "Frame", "FrameKind", "InterfaceQueue", "DcfMac"]

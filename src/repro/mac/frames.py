@@ -1,0 +1,43 @@
+"""MAC frames.
+
+A frame either carries a network-layer :class:`~repro.net.packet.Packet`
+(kind ``DATA``) or is one of the three control frames.  ``duration`` is the
+802.11 duration/NAV field: how much longer the medium will be reserved
+*after* this frame ends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import TYPE_CHECKING, Optional
+
+from repro.net.addresses import BROADCAST
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.packet import Packet
+
+
+class FrameKind(str, Enum):
+    RTS = "rts"
+    CTS = "cts"
+    DATA = "data"
+    ACK = "ack"
+
+
+@dataclass
+class Frame:
+    kind: FrameKind
+    src: int
+    dst: int
+    duration: float = 0.0  # NAV seconds remaining after frame end
+    seq: int = 0  # sender's MAC sequence number (for receiver dedup)
+    packet: Optional["Packet"] = None
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self.dst == BROADCAST
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        payload = f" pkt={self.packet.kind.value}:{self.packet.uid}" if self.packet else ""
+        return f"<Frame {self.kind.value} {self.src}->{self.dst}{payload}>"

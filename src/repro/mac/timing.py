@@ -1,0 +1,78 @@
+"""802.11 DSSS timing and size constants at WaveLAN's 2 Mb/s.
+
+Values follow IEEE 802.11-1997 DSSS PHY (the radio the paper models): 20 us
+slots, 10 us SIFS, 50 us DIFS, 192 us PLCP preamble+header, and the standard
+control-frame sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class MacTiming:
+    """Every MAC/PHY timing knob in one immutable bundle."""
+
+    bitrate: float = 2e6  # payload bit rate, b/s
+    slot: float = 20e-6
+    sifs: float = 10e-6
+    plcp: float = 192e-6  # PLCP preamble + header, sent at the base rate
+    cw_min: int = 31
+    cw_max: int = 1023
+    retry_limit: int = 7
+    rts_bytes: int = 20
+    cts_bytes: int = 14
+    ack_bytes: int = 14
+    mac_header_bytes: int = 28  # 24-byte header + 4-byte FCS
+    rts_threshold: int = 0  # ns-2 default: RTS/CTS for every unicast
+    use_eifs: bool = False  # extended IFS after corrupted receptions
+
+    def __post_init__(self) -> None:
+        if self.bitrate <= 0:
+            raise ConfigurationError("bitrate must be positive")
+        if self.cw_min < 1 or self.cw_max < self.cw_min:
+            raise ConfigurationError("need 1 <= cw_min <= cw_max")
+        if self.retry_limit < 1:
+            raise ConfigurationError("retry_limit must be >= 1")
+
+    @property
+    def difs(self) -> float:
+        return self.sifs + 2 * self.slot
+
+    @property
+    def eifs(self) -> float:
+        """Extended IFS: deference after a frame that failed its FCS —
+        long enough for the unseen exchange's ACK (802.11 9.2.3.4)."""
+        return self.sifs + self.ack_airtime + self.difs
+
+    def airtime(self, size_bytes: int) -> float:
+        """Time on the wire for a frame of ``size_bytes`` MAC-level bytes."""
+        return self.plcp + (size_bytes * 8) / self.bitrate
+
+    @property
+    def rts_airtime(self) -> float:
+        return self.airtime(self.rts_bytes)
+
+    @property
+    def cts_airtime(self) -> float:
+        return self.airtime(self.cts_bytes)
+
+    @property
+    def ack_airtime(self) -> float:
+        return self.airtime(self.ack_bytes)
+
+    def data_airtime(self, packet_bytes: int) -> float:
+        return self.airtime(self.mac_header_bytes + packet_bytes)
+
+    @property
+    def cts_timeout(self) -> float:
+        """How long an RTS sender waits before declaring the CTS lost."""
+        return self.sifs + self.cts_airtime + 2 * self.slot
+
+    @property
+    def ack_timeout(self) -> float:
+        """How long a DATA sender waits before declaring the ACK lost."""
+        return self.sifs + self.ack_airtime + 2 * self.slot

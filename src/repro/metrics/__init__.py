@@ -1,0 +1,30 @@
+"""Measurement: the paper's routing and cache-correctness metrics.
+
+Routing metrics (section 4.2): packet delivery fraction (or received
+throughput), average end-to-end delay, and normalized overhead — *all*
+overhead packets (routing **and** MAC control frames) per delivered data
+packet, counted per hop-wise transmission.
+
+Cache metrics: percentage of good replies (route replies received at
+sources whose route is fully alive at receipt, judged against ground-truth
+positions) and percentage of invalid cached routes (cache hits whose route
+is already dead).
+"""
+
+from repro.metrics.collector import MetricsCollector, SimulationResult
+from repro.metrics.groundtruth import make_validity_oracle
+from repro.metrics.pernode import NodeStats, PerNodeCollector
+from repro.metrics.cachestats import CacheSample, CacheSampler
+from repro.metrics.replay import iter_trace, replay_metrics
+
+__all__ = [
+    "MetricsCollector",
+    "SimulationResult",
+    "make_validity_oracle",
+    "PerNodeCollector",
+    "NodeStats",
+    "CacheSampler",
+    "CacheSample",
+    "replay_metrics",
+    "iter_trace",
+]

@@ -1,0 +1,30 @@
+"""Ground-truth route validity.
+
+The paper's cache metrics need an oracle: *is this cached/replied route
+actually usable right now?*  In simulation we can answer exactly — every
+consecutive pair of hops must currently be within radio range.  The oracle
+reads positions through the same :class:`~repro.phy.neighbors.NeighborCache`
+the channel uses, so "valid" means "the next data packet along this route
+could physically make it".
+
+The oracle is observation only; it never feeds back into protocol state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence
+
+from repro.phy.neighbors import NeighborCache
+from repro.sim.engine import Simulator
+
+
+def make_validity_oracle(
+    sim: Simulator, neighbors: NeighborCache
+) -> Callable[[Sequence[int]], bool]:
+    """Build a ``route -> bool`` oracle bound to live simulation time."""
+
+    def route_is_valid(route: Sequence[int]) -> bool:
+        hops: List[int] = list(route)
+        return neighbors.route_valid(hops, sim.now)
+
+    return route_is_valid

@@ -1,0 +1,119 @@
+"""Per-node metric breakdowns.
+
+The aggregate collector answers the paper's questions; this one answers the
+debugging ones: *which* nodes burn the airtime, drop the packets, or sit on
+polluted caches.  Subscribe before the run; query afterwards.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.sim.trace import TraceRecord, Tracer
+
+
+@dataclass
+class NodeStats:
+    """Counters for one node."""
+
+    data_originated: int = 0
+    data_delivered: int = 0  # as the destination
+    frames_sent: int = 0
+    control_frames_sent: int = 0
+    routing_packets_sent: int = 0
+    data_packets_sent: int = 0  # per-hop data transmissions
+    link_breaks: int = 0
+    salvages: int = 0
+    cache_hits: int = 0
+    invalid_cache_hits: int = 0
+    replies_sent: int = 0
+    drops: Counter = field(default_factory=Counter)
+
+
+class PerNodeCollector:
+    """Aggregates trace events into per-node counters."""
+
+    def __init__(self, tracer: Tracer):
+        self._stats: Dict[int, NodeStats] = defaultdict(NodeStats)
+        tracer.subscribe("app.send", self._on_app_send)
+        tracer.subscribe("app.recv", self._on_app_recv)
+        tracer.subscribe("mac.tx", self._on_mac_tx)
+        tracer.subscribe("dsr.link_break", self._on_link_break)
+        tracer.subscribe("dsr.salvage", self._on_salvage)
+        tracer.subscribe("dsr.cache_use", self._on_cache_use)
+        tracer.subscribe("dsr.reply_sent", self._on_reply_sent)
+        tracer.subscribe("dsr.drop", self._on_drop)
+
+    def node(self, node_id: int) -> NodeStats:
+        return self._stats[node_id]
+
+    def nodes(self) -> Dict[int, NodeStats]:
+        return dict(self._stats)
+
+    # -- subscribers -----------------------------------------------------
+
+    def _on_app_send(self, record: TraceRecord) -> None:
+        self._stats[record.fields["src"]].data_originated += 1
+
+    def _on_app_recv(self, record: TraceRecord) -> None:
+        self._stats[record.fields["dst"]].data_delivered += 1
+
+    def _on_mac_tx(self, record: TraceRecord) -> None:
+        stats = self._stats[record.fields["node"]]
+        stats.frames_sent += 1
+        kind = record.fields["frame_kind"]
+        if kind in ("rts", "cts", "ack"):
+            stats.control_frames_sent += 1
+            return
+        pkt_kind = record.fields.get("pkt_kind")
+        if pkt_kind == "data":
+            stats.data_packets_sent += 1
+        elif pkt_kind is not None:
+            stats.routing_packets_sent += 1
+
+    def _on_link_break(self, record: TraceRecord) -> None:
+        self._stats[record.fields["node"]].link_breaks += 1
+
+    def _on_salvage(self, record: TraceRecord) -> None:
+        self._stats[record.fields["node"]].salvages += 1
+
+    def _on_cache_use(self, record: TraceRecord) -> None:
+        stats = self._stats[record.fields["node"]]
+        stats.cache_hits += 1
+        if record.fields.get("valid") is False:
+            stats.invalid_cache_hits += 1
+
+    def _on_reply_sent(self, record: TraceRecord) -> None:
+        self._stats[record.fields["node"]].replies_sent += 1
+
+    def _on_drop(self, record: TraceRecord) -> None:
+        self._stats[record.fields["node"]].drops[record.fields["reason"]] += 1
+
+    # -- reporting ---------------------------------------------------------
+
+    def hotspots(self, metric: str = "frames_sent", top: int = 5) -> List[tuple]:
+        """The ``top`` nodes by a NodeStats attribute, descending."""
+        ranked = sorted(
+            self._stats.items(),
+            key=lambda item: getattr(item[1], metric),
+            reverse=True,
+        )
+        return [(node_id, getattr(stats, metric)) for node_id, stats in ranked[:top]]
+
+    def format_report(self, top: int = 10) -> str:
+        """A compact text table of the busiest nodes."""
+        header = (
+            f"{'node':>5} {'frames':>8} {'ctrl':>7} {'routing':>8} "
+            f"{'data':>7} {'breaks':>7} {'drops':>6}"
+        )
+        lines = [header, "-" * len(header)]
+        for node_id, _ in self.hotspots("frames_sent", top):
+            stats = self._stats[node_id]
+            lines.append(
+                f"{node_id:>5} {stats.frames_sent:>8} {stats.control_frames_sent:>7} "
+                f"{stats.routing_packets_sent:>8} {stats.data_packets_sent:>7} "
+                f"{stats.link_breaks:>7} {sum(stats.drops.values()):>6}"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Offline metric recomputation from trace files.
+
+``TraceFileWriter`` (jsonl format) captures a run; ``replay_metrics`` reads
+such a file back and recomputes the full :class:`SimulationResult` without
+re-simulating — the workflow for archiving raw traces and deriving new
+metrics later.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterator, Union
+
+from repro.metrics.collector import MetricsCollector, SimulationResult
+from repro.sim.trace import Tracer
+
+PathLike = Union[str, Path]
+
+
+def iter_trace(path: PathLike) -> Iterator[dict]:
+    """Yield the records of a JSONL trace file as dicts."""
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def replay_metrics(
+    path: PathLike,
+    duration: float,
+    payload_bytes: int = 512,
+    offered_load_kbps: float | None = None,
+) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from a JSONL trace file.
+
+    The file must contain (at least) the event kinds the collector
+    subscribes to; extra kinds are ignored.  ``duration`` cannot be
+    inferred from the trace (a silent tail is invisible), so it is
+    explicit.
+    """
+    tracer = Tracer()
+    collector = MetricsCollector(tracer)
+    for record in iter_trace(path):
+        time = record.pop("t")
+        kind = record.pop("kind")
+        tracer.emit(time, kind, **record)
+    return collector.finalize(
+        duration=duration,
+        offered_load_kbps=offered_load_kbps,
+        payload_bytes=payload_bytes,
+    )

@@ -1,0 +1,39 @@
+"""The mobility-model interface used by the rest of the simulator."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.mobility.trajectory import Trajectory
+
+Point = Tuple[float, float]
+
+
+class MobilityModel:
+    """Maps node ids to trajectories.
+
+    Concrete models precompute a full trajectory per node at construction
+    time (the random waypoint's itinerary is independent of the protocol, so
+    nothing is lost by fixing it up front — and it guarantees identical
+    mobility across protocol variants, as the paper's methodology requires).
+    """
+
+    def __init__(self, trajectories: Dict[int, Trajectory]):
+        self._trajectories = dict(trajectories)
+
+    @property
+    def node_ids(self) -> list[int]:
+        return sorted(self._trajectories)
+
+    def trajectory(self, node_id: int) -> Trajectory:
+        return self._trajectories[node_id]
+
+    def position(self, node_id: int, t: float) -> Point:
+        """Position of ``node_id`` at simulation time ``t`` (metres)."""
+        return self._trajectories[node_id].position(t)
+
+    def distance(self, a: int, b: int, t: float) -> float:
+        """Euclidean distance between two nodes at time ``t``."""
+        xa, ya = self.position(a, t)
+        xb, yb = self.position(b, t)
+        return ((xa - xb) ** 2 + (ya - yb) ** 2) ** 0.5

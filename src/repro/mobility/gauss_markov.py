@@ -1,0 +1,145 @@
+"""Gauss-Markov mobility.
+
+Unlike random waypoint — whose sharp turns and stop-go behaviour are often
+criticised as unrealistic — Gauss-Markov evolves each node's speed and
+heading as a first-order autoregressive process, producing smooth,
+temporally correlated motion.  The memory parameter ``alpha`` interpolates
+between Brownian motion (``alpha = 0``) and straight-line motion
+(``alpha = 1``).
+
+Used by the robustness tests/benchmarks to check that the paper's caching
+conclusions are not artefacts of the waypoint model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.mobility.trajectory import Segment, Trajectory
+
+
+class GaussMarkovModel(MobilityModel):
+    """Gauss-Markov trajectories for ``num_nodes`` nodes.
+
+    Positions update every ``step`` seconds with the classic recursions::
+
+        s_t = alpha s_{t-1} + (1 - alpha) s_mean + sqrt(1 - alpha^2) w_s
+        d_t = alpha d_{t-1} + (1 - alpha) d_mean + sqrt(1 - alpha^2) w_d
+
+    Nodes reflect off the field boundary (heading mean flips toward the
+    interior near an edge, the standard boundary treatment).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        width: float,
+        height: float,
+        duration: float,
+        rng: np.random.Generator,
+        mean_speed: float = 10.0,
+        speed_std: float = 3.0,
+        direction_std: float = 0.6,
+        alpha: float = 0.85,
+        step: float = 1.0,
+    ):
+        if num_nodes <= 0:
+            raise ConfigurationError("num_nodes must be positive")
+        if width <= 0 or height <= 0:
+            raise ConfigurationError("field dimensions must be positive")
+        if not 0.0 <= alpha <= 1.0:
+            raise ConfigurationError("alpha must be in [0, 1]")
+        if mean_speed <= 0 or speed_std < 0 or step <= 0:
+            raise ConfigurationError("speed parameters must be positive")
+
+        self.width = width
+        self.height = height
+        self.mean_speed = mean_speed
+        self.alpha = alpha
+        self.step = step
+
+        trajectories = {
+            node_id: self._generate(rng, duration,
+                                    speed_std=speed_std,
+                                    direction_std=direction_std)
+            for node_id in range(num_nodes)
+        }
+        super().__init__(trajectories)
+
+    def _generate(
+        self,
+        rng: np.random.Generator,
+        duration: float,
+        speed_std: float,
+        direction_std: float,
+    ) -> Trajectory:
+        x = float(rng.uniform(0.0, self.width))
+        y = float(rng.uniform(0.0, self.height))
+        speed = self.mean_speed
+        direction = float(rng.uniform(0.0, 2.0 * math.pi))
+        alpha = self.alpha
+        noise_scale = math.sqrt(max(0.0, 1.0 - alpha * alpha))
+        margin_x = 0.1 * self.width
+        margin_y = 0.1 * self.height
+
+        segments: List[Segment] = []
+        t = 0.0
+        while t <= duration:
+            # Mean heading steers toward the interior near the edges.
+            mean_direction = direction
+            if x < margin_x:
+                mean_direction = 0.0
+            elif x > self.width - margin_x:
+                mean_direction = math.pi
+            if y < margin_y:
+                mean_direction = math.pi / 2 if x >= margin_x else mean_direction
+            elif y > self.height - margin_y:
+                mean_direction = -math.pi / 2 if x >= margin_x else mean_direction
+
+            speed = (
+                alpha * speed
+                + (1.0 - alpha) * self.mean_speed
+                + noise_scale * speed_std * float(rng.standard_normal())
+            )
+            speed = max(0.0, speed)
+            direction = (
+                alpha * direction
+                + (1.0 - alpha) * mean_direction
+                + noise_scale * direction_std * float(rng.standard_normal())
+            )
+            vx = speed * math.cos(direction)
+            vy = speed * math.sin(direction)
+
+            # Clip the step so the node cannot exit the field; reflect the
+            # heading if it would.
+            nx = x + vx * self.step
+            ny = y + vy * self.step
+            if nx < 0.0 or nx > self.width:
+                vx = -vx
+                nx = x + vx * self.step
+                direction = math.pi - direction
+            if ny < 0.0 or ny > self.height:
+                vy = -vy
+                ny = y + vy * self.step
+                direction = -direction
+            nx = min(max(nx, 0.0), self.width)
+            ny = min(max(ny, 0.0), self.height)
+
+            segments.append(
+                Segment(
+                    t0=t,
+                    x0=x,
+                    y0=y,
+                    vx=(nx - x) / self.step,
+                    vy=(ny - y) / self.step,
+                )
+            )
+            x, y = nx, ny
+            t += self.step
+        segments.append(Segment(t0=t, x0=x, y0=y, vx=0.0, vy=0.0))
+        return Trajectory(segments)

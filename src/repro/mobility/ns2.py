@@ -1,0 +1,143 @@
+"""Import ns-2 / setdest movement scenarios.
+
+The CMU Monarch toolchain (used by the paper) generated mobility scenarios
+with ``setdest`` and stored them as Tcl fragments:
+
+    $node_(0) set X_ 83.66
+    $node_(0) set Y_ 239.44
+    $ns_ at 2.35 "$node_(0) setdest 150.0 80.0 12.5"
+
+This module parses that format into our trajectory representation, so the
+very scenario files a 2001 study shipped can drive this simulator.  The
+inverse, :func:`export_ns2`, writes any of our mobility models back out.
+
+Semantics follow setdest: a node rests at its initial position until its
+first movement command; each ``setdest x y speed`` starts straight-line
+motion toward (x, y) at ``speed`` m/s; a command issued mid-leg redirects
+from the current (interpolated) position; after arriving, the node rests
+until the next command.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from pathlib import Path
+from typing import Dict, List, Tuple, Union
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.mobility.trajectory import Segment, Trajectory
+
+PathLike = Union[str, Path]
+
+_INITIAL = re.compile(
+    r'\$node_\((\d+)\)\s+set\s+([XYZ])_\s+([0-9.eE+-]+)'
+)
+_SETDEST = re.compile(
+    r'\$ns_?\s+at\s+([0-9.eE+-]+)\s+"\$node_\((\d+)\)\s+setdest\s+'
+    r"([0-9.eE+-]+)\s+([0-9.eE+-]+)\s+([0-9.eE+-]+)"
+)
+
+
+def parse_ns2_movements(text: str, duration: float) -> MobilityModel:
+    """Build a :class:`MobilityModel` from setdest-format scenario text."""
+    initial: Dict[int, Dict[str, float]] = {}
+    commands: Dict[int, List[Tuple[float, float, float, float]]] = {}
+
+    for match in _INITIAL.finditer(text):
+        node_id, axis, value = int(match.group(1)), match.group(2), float(match.group(3))
+        initial.setdefault(node_id, {})[axis] = value
+    for match in _SETDEST.finditer(text):
+        at = float(match.group(1))
+        node_id = int(match.group(2))
+        x, y, speed = (float(match.group(i)) for i in (3, 4, 5))
+        commands.setdefault(node_id, []).append((at, x, y, speed))
+
+    if not initial:
+        raise ConfigurationError("no initial node positions found in scenario text")
+
+    trajectories: Dict[int, Trajectory] = {}
+    for node_id, axes in initial.items():
+        if "X" not in axes or "Y" not in axes:
+            raise ConfigurationError(f"node {node_id} lacks an initial X/Y position")
+        trajectories[node_id] = _build_trajectory(
+            axes["X"], axes["Y"], sorted(commands.get(node_id, [])), duration
+        )
+    return MobilityModel(trajectories)
+
+
+def _build_trajectory(
+    x: float,
+    y: float,
+    commands: List[Tuple[float, float, float, float]],
+    duration: float,
+) -> Trajectory:
+    segments: List[Segment] = [Segment(t0=0.0, x0=x, y0=y, vx=0.0, vy=0.0)]
+
+    for at, dest_x, dest_y, speed in commands:
+        if at > duration:
+            break
+        # A new command supersedes anything scheduled at or after it (the
+        # pending rest-at-destination, or legs a later command replaced).
+        while len(segments) > 1 and segments[-1].t0 >= at:
+            segments.pop()
+        # Each leg is followed by a rest segment at its destination, so the
+        # last segment interpolates correctly whether the node is mid-leg
+        # or resting.
+        here_x, here_y = segments[-1].position(at)
+        distance = math.hypot(dest_x - here_x, dest_y - here_y)
+        if speed <= 0 or distance < 1e-9:
+            segments.append(Segment(t0=at, x0=here_x, y0=here_y, vx=0.0, vy=0.0))
+            continue
+        travel = distance / speed
+        segments.append(
+            Segment(
+                t0=at,
+                x0=here_x,
+                y0=here_y,
+                vx=(dest_x - here_x) / travel,
+                vy=(dest_y - here_y) / travel,
+            )
+        )
+        segments.append(
+            Segment(t0=at + travel, x0=dest_x, y0=dest_y, vx=0.0, vy=0.0)
+        )
+    return Trajectory(segments)
+
+
+def load_ns2_movements(path: PathLike, duration: float) -> MobilityModel:
+    """Parse a setdest scenario file from disk."""
+    return parse_ns2_movements(Path(path).read_text(), duration)
+
+
+def export_ns2(
+    mobility: MobilityModel,
+    duration: float,
+    step: float = 0.5,
+) -> str:
+    """Write any mobility model as setdest commands (sampled waypoints).
+
+    Trajectories are converted to per-``step`` setdest commands — lossless
+    for piecewise-linear models sampled at their own resolution, and a
+    faithful approximation otherwise.
+    """
+    lines: List[str] = []
+    for node_id in mobility.node_ids:
+        x, y = mobility.position(node_id, 0.0)
+        lines.append(f"$node_({node_id}) set X_ {x:.4f}")
+        lines.append(f"$node_({node_id}) set Y_ {y:.4f}")
+        lines.append(f"$node_({node_id}) set Z_ 0.0000")
+    times = [round(i * step, 6) for i in range(1, int(duration / step) + 1)]
+    for node_id in mobility.node_ids:
+        prev_x, prev_y = mobility.position(node_id, 0.0)
+        for t in times:
+            x, y = mobility.position(node_id, t)
+            speed = math.hypot(x - prev_x, y - prev_y) / step
+            if speed > 1e-6:
+                lines.append(
+                    f'$ns_ at {t - step:.6f} "$node_({node_id}) setdest '
+                    f'{x:.4f} {y:.4f} {speed:.4f}"'
+                )
+            prev_x, prev_y = x, y
+    return "\n".join(lines) + "\n"

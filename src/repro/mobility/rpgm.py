@@ -1,0 +1,115 @@
+"""Reference Point Group Mobility (RPGM).
+
+Nodes move in groups: each group follows a logical centre that performs
+random waypoint motion, while members hover around their own *reference
+point* — a fixed offset from the centre — with bounded random deviation.
+Group mobility stresses route caches differently from independent motion:
+links *within* a group are long-lived while links *between* groups churn,
+so cached intra-group routes stay good and inter-group routes go stale in
+bursts (exactly the bursty-break pattern the paper's adaptive timeout
+targets).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.mobility.base import MobilityModel
+from repro.mobility.trajectory import Segment, Trajectory
+from repro.mobility.waypoint import RandomWaypointModel
+
+
+class ReferencePointGroupModel(MobilityModel):
+    """RPGM over a rectangular field.
+
+    ``num_nodes`` are split as evenly as possible into ``num_groups``.
+    Group centres perform random waypoint (speed up to ``max_speed``,
+    ``pause_time`` pauses); each member tracks its reference point with a
+    uniform random deviation of at most ``deviation`` metres, re-drawn every
+    ``step`` seconds (linear interpolation in between).
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        width: float,
+        height: float,
+        duration: float,
+        rng: np.random.Generator,
+        num_groups: int = 4,
+        group_radius: float = 100.0,
+        deviation: float = 30.0,
+        max_speed: float = 20.0,
+        pause_time: float = 0.0,
+        step: float = 1.0,
+    ):
+        if num_nodes <= 0 or num_groups <= 0:
+            raise ConfigurationError("num_nodes and num_groups must be positive")
+        if num_groups > num_nodes:
+            raise ConfigurationError("more groups than nodes")
+        if group_radius <= 0 or deviation < 0 or step <= 0:
+            raise ConfigurationError("geometry parameters must be positive")
+
+        self.width = width
+        self.height = height
+        self.num_groups = num_groups
+
+        # Group centres: reuse the random-waypoint generator (one "node"
+        # per group), so centre motion matches the paper's mobility style.
+        centres = RandomWaypointModel(
+            num_nodes=num_groups,
+            width=width,
+            height=height,
+            duration=duration,
+            rng=rng,
+            max_speed=max_speed,
+            pause_time=pause_time,
+        )
+
+        self.group_of = {
+            node_id: node_id % num_groups for node_id in range(num_nodes)
+        }
+        trajectories = {}
+        for node_id in range(num_nodes):
+            group = self.group_of[node_id]
+            angle = float(rng.uniform(0.0, 2.0 * math.pi))
+            radius = float(rng.uniform(0.0, group_radius))
+            offset = (radius * math.cos(angle), radius * math.sin(angle))
+            trajectories[node_id] = self._member_trajectory(
+                centres.trajectory(group), offset, deviation, duration, step, rng
+            )
+        super().__init__(trajectories)
+
+    def _member_trajectory(
+        self,
+        centre: Trajectory,
+        offset: tuple,
+        deviation: float,
+        duration: float,
+        step: float,
+        rng: np.random.Generator,
+    ) -> Trajectory:
+        segments: List[Segment] = []
+        t = 0.0
+        x, y = self._member_position(centre, offset, deviation, t, rng)
+        while t <= duration:
+            nt = t + step
+            nx, ny = self._member_position(centre, offset, deviation, nt, rng)
+            segments.append(
+                Segment(t0=t, x0=x, y0=y, vx=(nx - x) / step, vy=(ny - y) / step)
+            )
+            x, y, t = nx, ny, nt
+        segments.append(Segment(t0=t, x0=x, y0=y, vx=0.0, vy=0.0))
+        return Trajectory(segments)
+
+    def _member_position(self, centre, offset, deviation, t, rng):
+        cx, cy = centre.position(t)
+        dx = float(rng.uniform(-deviation, deviation)) if deviation > 0 else 0.0
+        dy = float(rng.uniform(-deviation, deviation)) if deviation > 0 else 0.0
+        x = min(max(cx + offset[0] + dx, 0.0), self.width)
+        y = min(max(cy + offset[1] + dy, 0.0), self.height)
+        return x, y

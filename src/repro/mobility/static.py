@@ -1,0 +1,28 @@
+"""A mobility model for networks that do not move."""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.mobility.base import MobilityModel
+from repro.mobility.trajectory import Trajectory
+
+
+class StaticModel(MobilityModel):
+    """Fixed node positions — handy for unit tests and topology studies."""
+
+    def __init__(self, positions: Sequence[Tuple[float, float]]):
+        trajectories: Dict[int, Trajectory] = {
+            node_id: Trajectory.stationary(x, y)
+            for node_id, (x, y) in enumerate(positions)
+        }
+        super().__init__(trajectories)
+
+    @classmethod
+    def from_mapping(cls, mapping: Dict[int, Tuple[float, float]]) -> "StaticModel":
+        model = cls.__new__(cls)
+        MobilityModel.__init__(
+            model,
+            {nid: Trajectory.stationary(x, y) for nid, (x, y) in mapping.items()},
+        )
+        return model

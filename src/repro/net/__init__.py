@@ -1,0 +1,17 @@
+"""Network-layer plumbing: packets, the node protocol stack, and the DSR
+send buffer."""
+
+from repro.net.addresses import BROADCAST
+from repro.net.packet import Packet, PacketKind, dsr_header_bytes
+from repro.net.sendbuffer import BufferedPacket, SendBuffer
+from repro.net.node import Node
+
+__all__ = [
+    "BROADCAST",
+    "Packet",
+    "PacketKind",
+    "dsr_header_bytes",
+    "SendBuffer",
+    "BufferedPacket",
+    "Node",
+]

@@ -1,0 +1,8 @@
+"""Address constants.
+
+Node ids double as link-layer and network-layer addresses (the simulator has
+one interface per node).  ``BROADCAST`` is the all-nodes address at both
+layers.
+"""
+
+BROADCAST = -1

@@ -1,0 +1,173 @@
+"""One-call reproduction of the paper's entire evaluation.
+
+``reproduce()`` runs every table and figure from Marina & Das section 4.3
+at a chosen scale and returns a :class:`PaperReport` that renders to
+markdown — the library-level equivalent of running the whole benchmark
+suite, for use from scripts and notebooks:
+
+    from repro.paper import reproduce
+    report = reproduce(scale="quick", seeds=[1, 2])
+    print(report.to_markdown())
+
+Scales: ``quick`` (12-node sanity pass, ~1 minute), ``scaled`` (the
+benchmark default, tens of minutes for full seeds), ``paper`` (the full
+100-node setup; hours in pure Python).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.analysis.series import SweepPoint, compare_variants, sweep
+from repro.analysis.stats import Aggregate
+from repro.analysis.tables import format_series, format_table
+from repro.core.config import PAPER_VARIANTS, DsrConfig
+from repro.scenarios import presets
+from repro.scenarios.config import ScenarioConfig
+
+_SCALES = ("quick", "scaled", "paper")
+
+ProgressFn = Callable[[str], None]
+
+
+def _base_scenario(scale: str, pause: float, rate: float, dsr: DsrConfig, seed: int) -> ScenarioConfig:
+    if scale == "paper":
+        return presets.paper_scenario(pause_time=pause, packet_rate=rate, dsr=dsr, seed=seed)
+    if scale == "scaled":
+        return presets.scaled_scenario(pause_time=pause, packet_rate=rate, dsr=dsr, seed=seed)
+    return presets.tiny_scenario(dsr=dsr, seed=seed, pause_time=pause).but(
+        packet_rate=rate, duration=30.0
+    )
+
+
+def _timeout_axis(scale: str) -> List[float]:
+    if scale == "paper":
+        return [1.0, 5.0, 10.0, 30.0, 50.0]
+    return [0.3, 1.0, 3.0, 10.0, 30.0]
+
+
+def _pause_axis(scale: str) -> List[float]:
+    duration = {"paper": 500.0, "scaled": presets.SCALED_DURATION, "quick": 30.0}[scale]
+    return [0.0, duration / 3.0, duration]
+
+
+@dataclass
+class PaperReport:
+    """Every reproduced artifact, renderable to markdown."""
+
+    scale: str
+    seeds: List[int]
+    fig1: List[SweepPoint]
+    fig2: Dict[str, List[SweepPoint]]
+    table3: Dict[str, Aggregate]
+    fig4: Dict[str, List[SweepPoint]]
+
+    def to_markdown(self) -> str:
+        sections = [
+            f"# Reproduction report ({self.scale} scale, seeds {self.seeds})",
+            "",
+            "## Figure 1 — metrics vs route-expiry timeout (pause 0, 3 pkt/s)",
+            "```",
+            format_series(self.fig1, x_title="timeout"),
+            "```",
+            "## Figure 2 — metrics vs pause time, per variant",
+        ]
+        for name, points in self.fig2.items():
+            sections += [f"### {name}", "```", format_series(points, x_title="pause"), "```"]
+        sections += [
+            "## Table 3 — cache-correctness metrics (pause 0)",
+            "```",
+            format_table(
+                self.table3,
+                metrics=("good_replies_pct", "invalid_cache_pct", "pdf"),
+                row_title="protocol",
+            ),
+            "```",
+            "## Figure 4 — metrics vs offered load, per variant",
+        ]
+        for name, points in self.fig4.items():
+            sections += [
+                f"### {name}",
+                "```",
+                format_series(
+                    points,
+                    metrics=("throughput_kbps", "delay", "overhead"),
+                    x_title="rate",
+                ),
+                "```",
+            ]
+        return "\n".join(sections)
+
+
+def reproduce(
+    scale: str = "quick",
+    seeds: Sequence[int] = (1,),
+    progress: Optional[ProgressFn] = None,
+    fig2_variants: Optional[Sequence[str]] = None,
+    fig4_variants: Sequence[str] = ("DSR", "AllTechniques"),
+) -> PaperReport:
+    """Run the paper's four artifacts and return a report."""
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
+    seeds = list(seeds)
+    say = progress or (lambda message: None)
+
+    say("figure 1: timeout sweep")
+    fig1 = sweep(
+        lambda timeout, seed: _base_scenario(
+            scale, 0.0, 3.0, DsrConfig.with_static_expiry(timeout), seed
+        ),
+        _timeout_axis(scale),
+        seeds,
+        label=lambda timeout: f"static {timeout:g}s",
+    )
+    fig1 = (
+        sweep(
+            lambda idx, seed: _base_scenario(
+                scale,
+                0.0,
+                3.0,
+                DsrConfig.base() if idx == 0 else DsrConfig.with_adaptive_expiry(),
+                seed,
+            ),
+            [0, 1],
+            seeds,
+            label=lambda idx: "no timeout" if idx == 0 else "adaptive",
+        )
+        + fig1
+    )
+
+    say("figure 2: mobility sweep")
+    variant_names = list(fig2_variants or PAPER_VARIANTS)
+    fig2: Dict[str, List[SweepPoint]] = {}
+    for name in variant_names:
+        dsr = PAPER_VARIANTS[name]
+        fig2[name] = sweep(
+            lambda pause, seed, d=dsr: _base_scenario(scale, pause, 3.0, d, seed),
+            _pause_axis(scale),
+            seeds,
+            label=lambda pause: f"{pause:g}",
+        )
+
+    say("table 3: cache metrics")
+    table3 = compare_variants(
+        {
+            name: (lambda seed, d=dsr: _base_scenario(scale, 0.0, 3.0, d, seed))
+            for name, dsr in PAPER_VARIANTS.items()
+        },
+        seeds,
+    )
+
+    say("figure 4: load sweep")
+    fig4: Dict[str, List[SweepPoint]] = {}
+    for name in fig4_variants:
+        dsr = PAPER_VARIANTS[name]
+        fig4[name] = sweep(
+            lambda rate, seed, d=dsr: _base_scenario(scale, 0.0, rate, d, seed),
+            [1.0, 3.0, 6.0],
+            seeds,
+            label=lambda rate: f"{rate:g} pkt/s",
+        )
+
+    return PaperReport(scale=scale, seeds=seeds, fig1=fig1, fig2=fig2, table3=table3, fig4=fig4)

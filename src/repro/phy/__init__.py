@@ -1,0 +1,42 @@
+"""Radio/physical layer: propagation, the shared channel, and transceivers.
+
+The model reproduces what the paper's results actually depend on:
+
+* a nominal receive range of 250 m (Lucent WaveLAN-like) with a larger
+  carrier-sense/interference range,
+* a shared 2 Mb/s medium where concurrent in-range transmissions collide
+  (no capture), and
+* half-duplex transceivers that report medium busy/idle transitions to the
+  MAC.
+
+Positions come from a :class:`repro.mobility.MobilityModel`; for speed, pairwise
+connectivity is cached per small time quantum by :class:`NeighborCache`
+(nodes move at most ~1 m within the default 50 ms quantum, far below the
+250 m range, so the approximation is negligible).
+"""
+
+from repro.phy.propagation import (
+    DiskPropagation,
+    log_distance_range,
+    two_ray_ground_range,
+)
+from repro.phy.fading import EdgeLossModel, LossModel, NoLoss
+from repro.phy.energy import EnergyLedger, EnergyModel
+from repro.phy.neighbors import NeighborCache
+from repro.phy.channel import Channel, Transmission
+from repro.phy.radio import Radio
+
+__all__ = [
+    "DiskPropagation",
+    "two_ray_ground_range",
+    "log_distance_range",
+    "LossModel",
+    "NoLoss",
+    "EdgeLossModel",
+    "EnergyModel",
+    "EnergyLedger",
+    "NeighborCache",
+    "Channel",
+    "Transmission",
+    "Radio",
+]

@@ -1,0 +1,117 @@
+"""The shared wireless medium.
+
+A transmission is broadcast energy: every node within carrier-sense range of
+the sender hears it for the frame's duration; nodes within receive range can
+decode it *iff* no other transmission (or their own) overlaps the frame at
+their location.  There is no capture effect — any overlap corrupts, which
+matches the conservative ns-2 configuration used by the paper.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.phy.fading import LossModel, NoLoss
+from repro.phy.neighbors import NeighborCache
+from repro.sim.engine import Simulator
+from repro.sim.trace import Tracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.frames import Frame
+    from repro.phy.energy import EnergyLedger
+    from repro.phy.radio import Radio
+
+
+class Transmission:
+    """One frame in flight on the medium."""
+
+    __slots__ = ("sender", "frame", "start", "end")
+
+    def __init__(self, sender: int, frame: "Frame", start: float, end: float):
+        self.sender = sender
+        self.frame = frame
+        self.start = start
+        self.end = end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Transmission {self.frame.kind} from {self.sender} "
+            f"[{self.start:.6f}, {self.end:.6f}]>"
+        )
+
+
+class Channel:
+    """Connects all radios through the :class:`NeighborCache` geometry."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        neighbors: NeighborCache,
+        tracer: Optional[Tracer] = None,
+        loss_model: Optional[LossModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        energy: Optional["EnergyLedger"] = None,
+    ):
+        self._sim = sim
+        self._neighbors = neighbors
+        self._tracer = tracer or Tracer()
+        self._radios: Dict[int, "Radio"] = {}
+        self._loss_model = loss_model or NoLoss()
+        self._lossy = not isinstance(self._loss_model, NoLoss)
+        self._rng = rng or np.random.default_rng(0)
+        self.energy = energy
+
+    @property
+    def neighbors(self) -> NeighborCache:
+        return self._neighbors
+
+    def attach(self, radio: "Radio") -> None:
+        if radio.node_id in self._radios:
+            raise SimulationError(f"radio for node {radio.node_id} already attached")
+        self._radios[radio.node_id] = radio
+
+    def radio(self, node_id: int) -> "Radio":
+        return self._radios[node_id]
+
+    def transmit(self, sender: "Radio", frame: "Frame", duration: float) -> None:
+        """Put ``frame`` on the air for ``duration`` seconds."""
+        now = self._sim.now
+        tx = Transmission(sender.node_id, frame, now, now + duration)
+        self._tracer.emit(
+            now,
+            "phy.tx",
+            sender=sender.node_id,
+            frame_kind=frame.kind.value,
+            dst=frame.dst,
+            duration=duration,
+        )
+        sender.begin_transmit(tx)
+        rx_set = set(self._neighbors.rx_neighbors(sender.node_id, now))
+        touched: List["Radio"] = []
+        for node_id in self._neighbors.cs_neighbors(sender.node_id, now):
+            radio = self._radios.get(node_id)
+            if radio is None:
+                continue
+            receivable = node_id in rx_set
+            if receivable and self._lossy:
+                distance = self._neighbors.distance(sender.node_id, node_id, now)
+                receivable = self._loss_model.delivered(distance, self._rng)
+            radio.energy_start(tx, receivable=receivable)
+            touched.append(radio)
+            if self.energy is not None:
+                self.energy.charge_rx(node_id, duration)
+        if self.energy is not None:
+            self.energy.charge_tx(sender.node_id, duration)
+        self._sim.schedule(duration, self._finish, tx, sender, touched)
+
+    def _finish(
+        self, tx: Transmission, sender: "Radio", touched: List["Radio"]
+    ) -> None:
+        # End energy at listeners first so the sender's completion callback
+        # observes a consistent medium.
+        for radio in touched:
+            radio.energy_end(tx)
+        sender.end_transmit(tx)

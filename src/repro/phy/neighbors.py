@@ -1,0 +1,140 @@
+"""Quantised pairwise-connectivity cache.
+
+Evaluating trajectories and distances for every node pair on every frame
+transmission would dominate the simulation's running time.  Instead the
+channel asks this cache, which recomputes the full distance matrix (numpy,
+O(n^2) but vectorised) at most once per ``quantum`` seconds of simulated
+time and memoises receive/carrier-sense neighbour lists.
+
+At the paper's 20 m/s top speed a node moves 1 m per default 50 ms quantum
+— 0.4 % of the 250 m radio range — so quantisation error is negligible; the
+tests include an exact-versus-cached comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from repro.mobility.base import MobilityModel
+from repro.phy.propagation import DiskPropagation
+
+
+class NeighborCache:
+    """Caches per-quantum neighbour sets for all nodes."""
+
+    def __init__(
+        self,
+        mobility: MobilityModel,
+        propagation: DiskPropagation,
+        quantum: float = 0.05,
+    ):
+        if quantum <= 0:
+            raise ValueError("quantum must be positive")
+        self._mobility = mobility
+        self._propagation = propagation
+        self.quantum = quantum
+        self._node_ids = mobility.node_ids
+        self._index: Dict[int, int] = {
+            node_id: i for i, node_id in enumerate(self._node_ids)
+        }
+        self._tick = -1
+        self._positions = np.zeros((len(self._node_ids), 2))
+        self._distances = np.zeros((len(self._node_ids), len(self._node_ids)))
+        self._rx_neighbors: List[List[int]] = []
+        self._cs_neighbors: List[List[int]] = []
+        self._components: List[int] | None = None  # lazy, per quantum
+        self._components_tick = -1
+
+    def _refresh(self, t: float) -> None:
+        tick = int(t / self.quantum)
+        if tick == self._tick:
+            return
+        self._tick = tick
+        sample_time = tick * self.quantum
+        for i, node_id in enumerate(self._node_ids):
+            self._positions[i] = self._mobility.position(node_id, sample_time)
+        deltas = self._positions[:, None, :] - self._positions[None, :, :]
+        self._distances = np.sqrt((deltas**2).sum(axis=2))
+        rx = self._distances <= self._propagation.rx_range
+        cs = self._distances <= self._propagation.cs_range
+        np.fill_diagonal(rx, False)
+        np.fill_diagonal(cs, False)
+        ids = self._node_ids
+        self._rx_neighbors = [
+            [ids[j] for j in np.flatnonzero(rx[i])] for i in range(len(ids))
+        ]
+        self._cs_neighbors = [
+            [ids[j] for j in np.flatnonzero(cs[i])] for i in range(len(ids))
+        ]
+
+    def rx_neighbors(self, node_id: int, t: float) -> List[int]:
+        """Nodes able to decode a transmission from ``node_id`` at time ``t``."""
+        self._refresh(t)
+        return self._rx_neighbors[self._index[node_id]]
+
+    def cs_neighbors(self, node_id: int, t: float) -> List[int]:
+        """Nodes that sense energy from a transmission by ``node_id``."""
+        self._refresh(t)
+        return self._cs_neighbors[self._index[node_id]]
+
+    def connected(self, a: int, b: int, t: float) -> bool:
+        """True if ``a`` and ``b`` are within receive range at time ``t``."""
+        if a == b:
+            return True
+        self._refresh(t)
+        return bool(
+            self._distances[self._index[a], self._index[b]]
+            <= self._propagation.rx_range
+        )
+
+    def distance(self, a: int, b: int, t: float) -> float:
+        self._refresh(t)
+        return float(self._distances[self._index[a], self._index[b]])
+
+    def reachable(self, a: int, b: int, t: float) -> bool:
+        """Ground truth: does *any* multi-hop path exist between a and b?
+
+        Used by the reachability-aware delivery metric to separate
+        protocol-caused losses from topological partition.  Connected
+        components are computed lazily, at most once per quantum.
+        """
+        if a == b:
+            return True
+        self._refresh(t)
+        if self._components_tick != self._tick:
+            self._compute_components()
+        return (
+            self._components[self._index[a]] == self._components[self._index[b]]
+        )
+
+    def _compute_components(self) -> None:
+        n = len(self._node_ids)
+        labels = [-1] * n
+        label = 0
+        for start in range(n):
+            if labels[start] >= 0:
+                continue
+            stack = [start]
+            labels[start] = label
+            while stack:
+                node = stack.pop()
+                for neighbor_id in self._rx_neighbors[node]:
+                    neighbor = self._index[neighbor_id]
+                    if labels[neighbor] < 0:
+                        labels[neighbor] = label
+                        stack.append(neighbor)
+            label += 1
+        self._components = labels
+        self._components_tick = self._tick
+
+    def route_valid(self, route: List[int], t: float) -> bool:
+        """Ground-truth check: does every consecutive hop lie in range?
+
+        This is the oracle behind the paper's cache-correctness metrics
+        ("% good replies", "% invalid cached routes").
+        """
+        return all(
+            self.connected(a, b, t) for a, b in zip(route, route[1:])
+        )

@@ -1,0 +1,107 @@
+"""Per-node half-duplex transceiver.
+
+The radio tracks the set of transmissions it currently hears and decides,
+per transmission, whether the frame survives: decodable means the frame was
+in receive range, no other heard transmission overlapped any part of it, and
+this radio was not itself transmitting at any point during it.
+
+The MAC attaches via three callbacks:
+
+* ``on_medium_change()`` — physical carrier-sense transitions,
+* ``on_frame(frame)`` — a successfully decoded frame,
+* ``on_tx_complete(frame)`` — the radio finished sending our own frame.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.errors import SimulationError
+from repro.phy.channel import Channel, Transmission
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mac.frames import Frame
+
+
+class _Reception:
+    __slots__ = ("receivable", "corrupt")
+
+    def __init__(self, receivable: bool, corrupt: bool):
+        self.receivable = receivable
+        self.corrupt = corrupt
+
+
+class Radio:
+    """A node's interface to the shared channel."""
+
+    def __init__(self, node_id: int, channel: Channel):
+        self.node_id = node_id
+        self._channel = channel
+        self.mac = None  # set by the MAC layer during stack wiring
+        self._transmitting: Optional[Transmission] = None
+        self._receptions: Dict[Transmission, _Reception] = {}
+        channel.attach(self)
+
+    # -- state queries -----------------------------------------------------
+
+    @property
+    def busy(self) -> bool:
+        """Physical carrier sense: energy on the air or transmitting."""
+        return self._transmitting is not None or bool(self._receptions)
+
+    @property
+    def transmitting(self) -> bool:
+        return self._transmitting is not None
+
+    # -- transmit path -----------------------------------------------------
+
+    def transmit(self, frame: "Frame", duration: float) -> None:
+        """Hand a frame to the channel (the MAC has already deferred)."""
+        if self._transmitting is not None:
+            raise SimulationError(
+                f"node {self.node_id} started a transmission while already sending"
+            )
+        self._channel.transmit(self, frame, duration)
+
+    def begin_transmit(self, tx: Transmission) -> None:
+        self._transmitting = tx
+        # Half duplex: anything we were receiving is lost.
+        for reception in self._receptions.values():
+            reception.corrupt = True
+        if self.mac is not None:
+            self.mac.on_medium_change()
+
+    def end_transmit(self, tx: Transmission) -> None:
+        self._transmitting = None
+        if self.mac is not None:
+            self.mac.on_medium_change()
+            self.mac.on_tx_complete(tx.frame)
+
+    # -- receive path ------------------------------------------------------
+
+    def energy_start(self, tx: Transmission, receivable: bool) -> None:
+        corrupt = bool(self._receptions) or self._transmitting is not None
+        if corrupt:
+            for reception in self._receptions.values():
+                reception.corrupt = True
+        was_clear = not self.busy
+        self._receptions[tx] = _Reception(receivable, corrupt)
+        if was_clear and self.mac is not None:
+            self.mac.on_medium_change()
+
+    def energy_end(self, tx: Transmission) -> None:
+        reception = self._receptions.pop(tx, None)
+        if reception is None:  # pragma: no cover - defensive
+            return
+        if self.mac is None:
+            return
+        if reception.receivable and reception.corrupt:
+            # A decodable frame was ruined (collision / half duplex): the
+            # MAC may apply EIFS deference.
+            on_corrupt = getattr(self.mac, "on_corrupt_frame", None)
+            if on_corrupt is not None:
+                on_corrupt()
+        if not self.busy:
+            self.mac.on_medium_change()
+        if reception.receivable and not reception.corrupt:
+            self.mac.on_frame(tx.frame)

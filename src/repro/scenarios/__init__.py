@@ -1,0 +1,18 @@
+"""Scenario configuration and assembly: turn a parameter record into a
+wired-up simulation (mobility, channel, 100 protocol stacks, traffic) and
+run it to completion."""
+
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.builder import SimulationHandle, build_simulation, run_scenario
+from repro.scenarios.io import load_scenario, save_scenario
+from repro.scenarios import presets
+
+__all__ = [
+    "ScenarioConfig",
+    "SimulationHandle",
+    "build_simulation",
+    "run_scenario",
+    "load_scenario",
+    "save_scenario",
+    "presets",
+]

@@ -1,0 +1,116 @@
+"""Pre-flight sanity checks for scenario configurations.
+
+Simulation studies die of silent misconfiguration: a field so sparse the
+network is partitioned, a load that saturates the channel, a run shorter
+than the traffic start window.  ``check_scenario`` inspects a configuration
+and returns human-readable warnings — the builder never refuses to run
+(odd scenarios are sometimes the point), but the CLI and notebooks can
+surface these before burning minutes of simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+from repro.scenarios.config import ScenarioConfig
+
+# 802.11 at 2 Mb/s delivers roughly half the nominal bitrate as goodput
+# once RTS/CTS/ACK, backoff and multi-hop forwarding take their share.
+_USABLE_CHANNEL_FRACTION = 0.5
+
+
+@dataclass(frozen=True)
+class ScenarioWarning:
+    code: str
+    message: str
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.code}] {self.message}"
+
+
+def expected_degree(config: ScenarioConfig) -> float:
+    """Expected neighbours per node under uniform node placement."""
+    area = config.field_width * config.field_height
+    footprint = math.pi * config.rx_range**2
+    # Border effects ignored: fine for a heuristic.
+    return (config.num_nodes - 1) * min(footprint / area, 1.0)
+
+
+def offered_load_fraction(config: ScenarioConfig) -> float:
+    """Offered application load as a fraction of usable channel capacity,
+    accounting for multi-hop relaying (each hop re-spends airtime)."""
+    diag_hops = (
+        math.hypot(config.field_width, config.field_height) / config.rx_range
+    )
+    average_hops = max(1.0, diag_hops / 3.0)  # crude mean-path estimate
+    offered_bps = config.offered_load_kbps * 1000.0 * average_hops
+    return offered_bps / (2e6 * _USABLE_CHANNEL_FRACTION)
+
+
+def check_scenario(config: ScenarioConfig) -> List[ScenarioWarning]:
+    """Return a list of warnings (empty = scenario looks healthy)."""
+    warnings: List[ScenarioWarning] = []
+
+    degree = expected_degree(config)
+    if degree < 6.0:
+        warnings.append(
+            ScenarioWarning(
+                "sparse",
+                f"expected node degree {degree:.1f} < 6: the network will "
+                "frequently partition; delivery failures will be "
+                "topological, not protocol-caused",
+            )
+        )
+    if degree > 40.0:
+        warnings.append(
+            ScenarioWarning(
+                "dense",
+                f"expected node degree {degree:.1f} > 40: most nodes share "
+                "one collision domain; results measure MAC contention more "
+                "than routing",
+            )
+        )
+
+    load = offered_load_fraction(config)
+    if load > 1.0:
+        warnings.append(
+            ScenarioWarning(
+                "overload",
+                f"offered load is ~{load:.1f}x the usable channel capacity; "
+                "queues will saturate and delay metrics will measure "
+                "queueing, not routing",
+            )
+        )
+
+    if config.start_window >= config.duration:
+        warnings.append(
+            ScenarioWarning(
+                "late-traffic",
+                f"traffic start window ({config.start_window:g}s) is not "
+                f"inside the run ({config.duration:g}s); some sessions may "
+                "never start",
+            )
+        )
+
+    if 0 < config.pause_time < config.duration * 0.05:
+        warnings.append(
+            ScenarioWarning(
+                "pause-noise",
+                f"pause time {config.pause_time:g}s is under 5% of the run; "
+                "it is statistically indistinguishable from pause 0",
+            )
+        )
+
+    if config.duration < config.dsr.send_buffer_timeout:
+        warnings.append(
+            ScenarioWarning(
+                "short-run",
+                f"run ({config.duration:g}s) is shorter than the send-"
+                f"buffer timeout ({config.dsr.send_buffer_timeout:g}s); "
+                "buffered packets can neither be delivered nor counted "
+                "as dropped",
+            )
+        )
+    return warnings

@@ -1,0 +1,89 @@
+"""The scenario parameter record.
+
+Defaults correspond to the paper's simulation environment (section 4.1):
+100 nodes in 2200 m x 600 m, random waypoint at up to 20 m/s, 25 CBR
+sessions of 512-byte packets, 500 simulated seconds, WaveLAN-like radio.
+Benchmarks usually run scaled-down copies (see
+:mod:`repro.scenarios.presets`) because a pure-Python 100-node 500-second
+run takes minutes per data point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.config import DsrConfig
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScenarioConfig:
+    """Everything needed to reproduce one simulation run."""
+
+    # Topology & mobility (paper defaults)
+    num_nodes: int = 100
+    field_width: float = 2200.0
+    field_height: float = 600.0
+    max_speed: float = 20.0
+    min_speed: float = 0.1
+    pause_time: float = 0.0
+    duration: float = 500.0
+    mobility_model: str = "waypoint"  # "waypoint" | "gauss_markov" | "rpgm"
+    rpgm_groups: int = 4
+
+    # Traffic
+    num_sessions: int = 25
+    packet_rate: float = 3.0  # packets per second per session (CBR only)
+    payload_bytes: int = 512
+    start_window: float = 10.0
+    traffic_type: str = "cbr"  # "cbr" (the paper) or "tcp" (related work)
+
+    # Radio / MAC
+    rx_range: float = 250.0
+    cs_range: float = 550.0
+    grey_zone_fraction: float = 0.0  # 0 = pure disk; 0.2 = lossy outer 20 %
+    neighbor_quantum: float = 0.05
+    ifq_capacity: int = 50
+    track_energy: bool = False  # per-node radio energy accounting
+    track_reachability: bool = False  # classify sends by topological reachability
+    use_eifs: bool = False  # 802.11 extended IFS after corrupted frames
+
+    # Protocol
+    protocol: str = "dsr"  # "dsr", "aodv" or "flooding"
+    dsr: DsrConfig = field(default_factory=DsrConfig)
+
+    # Reproducibility
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 2:
+            raise ConfigurationError("need at least two nodes")
+        if self.duration <= 0:
+            raise ConfigurationError("duration must be positive")
+        if self.num_sessions < 0:
+            raise ConfigurationError("num_sessions cannot be negative")
+        if self.num_sessions > self.num_nodes:
+            raise ConfigurationError("more sessions than nodes")
+        if self.packet_rate <= 0:
+            raise ConfigurationError("packet_rate must be positive")
+        if self.protocol not in ("dsr", "aodv", "flooding"):
+            raise ConfigurationError(f"unknown protocol {self.protocol!r}")
+        if not 0.0 <= self.grey_zone_fraction < 1.0:
+            raise ConfigurationError("grey_zone_fraction must be in [0, 1)")
+        if self.mobility_model not in ("waypoint", "gauss_markov", "rpgm"):
+            raise ConfigurationError(
+                f"unknown mobility model {self.mobility_model!r}"
+            )
+        if self.rpgm_groups < 1:
+            raise ConfigurationError("rpgm_groups must be positive")
+        if self.traffic_type not in ("cbr", "tcp"):
+            raise ConfigurationError(f"unknown traffic type {self.traffic_type!r}")
+
+    @property
+    def offered_load_kbps(self) -> float:
+        """Aggregate application-layer offered load in kb/s."""
+        return self.num_sessions * self.packet_rate * self.payload_bytes * 8 / 1000.0
+
+    def but(self, **changes) -> "ScenarioConfig":
+        """A modified copy (keyword arguments override fields)."""
+        return replace(self, **changes)

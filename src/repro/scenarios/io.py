@@ -1,0 +1,54 @@
+"""Scenario (de)serialisation.
+
+Experiments should be reproducible from an artifact, not a shell history:
+these helpers round-trip a complete :class:`ScenarioConfig` — including the
+nested :class:`DsrConfig` — through JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.config import DsrConfig, ExpiryMode
+from repro.errors import ConfigurationError
+from repro.scenarios.config import ScenarioConfig
+
+PathLike = Union[str, Path]
+
+
+def scenario_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
+    """A plain-JSON-types dict capturing the full configuration."""
+    payload = dataclasses.asdict(config)
+    payload["dsr"]["expiry_mode"] = config.dsr.expiry_mode.value
+    return payload
+
+
+def scenario_from_dict(payload: Dict[str, Any]) -> ScenarioConfig:
+    """Inverse of :func:`scenario_to_dict` (unknown keys are rejected)."""
+    data = dict(payload)
+    dsr_data = dict(data.pop("dsr", {}))
+    if "expiry_mode" in dsr_data:
+        dsr_data["expiry_mode"] = ExpiryMode(dsr_data["expiry_mode"])
+    known_dsr = {field.name for field in dataclasses.fields(DsrConfig)}
+    unknown = set(dsr_data) - known_dsr
+    if unknown:
+        raise ConfigurationError(f"unknown DsrConfig fields: {sorted(unknown)}")
+    known_scenario = {field.name for field in dataclasses.fields(ScenarioConfig)}
+    unknown = set(data) - known_scenario
+    if unknown:
+        raise ConfigurationError(f"unknown ScenarioConfig fields: {sorted(unknown)}")
+    return ScenarioConfig(dsr=DsrConfig(**dsr_data), **data)
+
+
+def save_scenario(config: ScenarioConfig, path: PathLike) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(scenario_to_dict(config), indent=2, sort_keys=True))
+    return path
+
+
+def load_scenario(path: PathLike) -> ScenarioConfig:
+    payload = json.loads(Path(path).read_text())
+    return scenario_from_dict(payload)

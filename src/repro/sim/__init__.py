@@ -1,0 +1,24 @@
+"""Discrete-event simulation kernel.
+
+This subpackage replaces the role ns-2 played for the original paper: a
+deterministic, event-driven scheduler plus supporting utilities (timers,
+seeded random-stream management, and structured tracing).
+"""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+from repro.sim.rng import RandomStreams
+from repro.sim.trace import NullTracer, TraceRecord, Tracer
+from repro.sim.tracefile import TraceFileWriter
+
+__all__ = [
+    "Event",
+    "Simulator",
+    "Timer",
+    "PeriodicTimer",
+    "RandomStreams",
+    "Tracer",
+    "NullTracer",
+    "TraceRecord",
+    "TraceFileWriter",
+]

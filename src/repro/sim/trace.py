@@ -1,0 +1,71 @@
+"""Structured event tracing.
+
+The simulator components emit trace records (packet transmissions, link
+breaks, cache operations...) through a :class:`Tracer`.  Metrics collection is
+implemented as trace subscribers, and tests use tracers to assert on protocol
+behaviour without reaching into private state.
+
+Emitting is cheap when nobody listens: :meth:`Tracer.emit` short-circuits if
+the event type has no subscribers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence inside the simulation."""
+
+    time: float
+    kind: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def __getattr__(self, name: str) -> Any:
+        try:
+            return self.fields[name]
+        except KeyError as exc:  # pragma: no cover - error path
+            raise AttributeError(name) from exc
+
+
+Subscriber = Callable[[TraceRecord], None]
+
+
+class Tracer:
+    """Pub/sub hub for simulation trace records."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Subscriber]] = {}
+        self._wildcard: List[Subscriber] = []
+
+    def subscribe(self, kind: str, fn: Subscriber) -> None:
+        """Call ``fn`` for every record of type ``kind`` (``"*"`` for all)."""
+        if kind == "*":
+            self._wildcard.append(fn)
+        else:
+            self._subscribers.setdefault(kind, []).append(fn)
+
+    def wants(self, kind: str) -> bool:
+        """True if emitting ``kind`` would reach at least one subscriber."""
+        return bool(self._wildcard) or kind in self._subscribers
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:
+        """Publish a record to subscribers of ``kind`` (and wildcards)."""
+        listeners = self._subscribers.get(kind)
+        if not listeners and not self._wildcard:
+            return
+        record = TraceRecord(time=time, kind=kind, fields=fields)
+        if listeners:
+            for fn in listeners:
+                fn(record)
+        for fn in self._wildcard:
+            fn(record)
+
+
+class NullTracer(Tracer):
+    """A tracer that drops everything; useful default for micro-tests."""
+
+    def emit(self, time: float, kind: str, **fields: Any) -> None:  # noqa: D102
+        return

@@ -1,0 +1,72 @@
+"""Write simulation traces to disk, ns-2 style.
+
+ns-2 users lived off its trace files; this writer provides the equivalent
+for offline analysis: one line per trace record, either a compact
+whitespace format (``text``) or JSON lines (``jsonl``).  Attach before the
+run, ``close()`` (or use as a context manager) afterwards.
+
+Example line (text format)::
+
+    12.081672 mac.tx node=17 frame_kind=rts dst=31 pkt_kind=None
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Iterable, Optional, Union
+
+from repro.sim.trace import TraceRecord, Tracer
+
+PathLike = Union[str, Path]
+
+
+class TraceFileWriter:
+    """Streams selected trace records to a file."""
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        path: PathLike,
+        kinds: Optional[Iterable[str]] = None,
+        fmt: str = "text",
+    ):
+        if fmt not in ("text", "jsonl"):
+            raise ValueError(f"unknown trace format {fmt!r}")
+        self.path = Path(path)
+        self.fmt = fmt
+        self.records_written = 0
+        self._handle: Optional[IO[str]] = self.path.open("w")
+        if kinds is None:
+            tracer.subscribe("*", self._write)
+        else:
+            for kind in kinds:
+                tracer.subscribe(kind, self._write)
+
+    def _write(self, record: TraceRecord) -> None:
+        if self._handle is None:
+            return
+        if self.fmt == "jsonl":
+            line = json.dumps(
+                {"t": record.time, "kind": record.kind, **record.fields},
+                default=str,
+                sort_keys=True,
+            )
+        else:
+            fields = " ".join(
+                f"{key}={value}" for key, value in sorted(record.fields.items())
+            )
+            line = f"{record.time:.6f} {record.kind} {fields}".rstrip()
+        self._handle.write(line + "\n")
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "TraceFileWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

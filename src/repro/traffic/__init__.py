@@ -1,0 +1,24 @@
+"""Application-level traffic: CBR sources, sinks and session wiring.
+
+The paper's workload: 25 constant-bit-rate (CBR) sessions over UDP-like
+datagrams of 512 bytes, source-destination pairs spread randomly over the
+network, all sessions starting near the beginning of the run and staying
+active to the end.  The sending rate per session is the offered-load knob
+(Fig. 4).
+"""
+
+from repro.traffic.cbr import CbrSource
+from repro.traffic.sink import Sink
+from repro.traffic.sessions import Session, random_sessions
+from repro.traffic.tcp import TcpAck, TcpSegment, TcpSink, TcpSource
+
+__all__ = [
+    "CbrSource",
+    "Sink",
+    "Session",
+    "random_sessions",
+    "TcpSource",
+    "TcpSink",
+    "TcpSegment",
+    "TcpAck",
+]

@@ -1,0 +1,51 @@
+"""Constant-bit-rate traffic source."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.node import Node
+from repro.sim.engine import Simulator
+
+
+class CbrSource:
+    """Sends fixed-size packets to one destination at a constant rate.
+
+    Matches the paper's CBR/UDP sources: no congestion reaction, no
+    retransmission — every loss shows up in the delivery fraction.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node: Node,
+        dst: int,
+        rate: float,
+        payload_bytes: int = 512,
+        start: float = 0.0,
+        stop: Optional[float] = None,
+    ):
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive (packets/second)")
+        if payload_bytes <= 0:
+            raise ConfigurationError("payload_bytes must be positive")
+        if stop is not None and stop < start:
+            raise ConfigurationError("stop must be >= start")
+        self._sim = sim
+        self._node = node
+        self.dst = dst
+        self.rate = rate
+        self.interval = 1.0 / rate
+        self.payload_bytes = payload_bytes
+        self.start_time = start
+        self.stop_time = stop
+        self.packets_sent = 0
+        sim.schedule_at(start, self._send_next)
+
+    def _send_next(self) -> None:
+        if self.stop_time is not None and self._sim.now >= self.stop_time:
+            return
+        self._node.send_data(self.dst, self.payload_bytes)
+        self.packets_sent += 1
+        self._sim.schedule(self.interval, self._send_next)

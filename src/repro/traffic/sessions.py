@@ -1,0 +1,47 @@
+"""Random source-destination session generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Session:
+    src: int
+    dst: int
+    start: float
+
+
+def random_sessions(
+    num_nodes: int,
+    num_sessions: int,
+    rng: np.random.Generator,
+    start_window: float = 10.0,
+) -> List[Session]:
+    """Draw ``num_sessions`` source-destination pairs spread over the network.
+
+    Distinct sources (one CBR stream per source node, like the paper's 25
+    pairs in a 100-node network); destinations are any other node.  Start
+    times are uniform in ``[0, start_window]`` — "established at random
+    times near the beginning of the simulation".
+    """
+    if num_sessions > num_nodes:
+        raise ConfigurationError(
+            f"cannot pick {num_sessions} distinct sources from {num_nodes} nodes"
+        )
+    if num_nodes < 2:
+        raise ConfigurationError("need at least two nodes for traffic")
+    sources = rng.choice(num_nodes, size=num_sessions, replace=False)
+    sessions: List[Session] = []
+    for src in sources:
+        dst = int(rng.integers(0, num_nodes - 1))
+        if dst >= src:
+            dst += 1  # uniform over nodes != src
+        start = float(rng.uniform(0.0, start_window))
+        sessions.append(Session(src=int(src), dst=dst, start=start))
+    return sessions

@@ -1,0 +1,31 @@
+"""Traffic sink: records what the application layer actually received."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.net.node import Node
+from repro.net.packet import Packet
+
+
+class Sink:
+    """Attaches to a node's application receive hook and keeps counts.
+
+    Most accounting happens in :mod:`repro.metrics` via trace events; the
+    sink is the app-level view used by examples and tests.
+    """
+
+    def __init__(self, node: Node):
+        self._node = node
+        self.received = 0
+        self.bytes_received = 0
+        self.uids: List[int] = []
+        previous = node.app_receive
+
+        def _receive(packet: Packet) -> None:
+            self.received += 1
+            self.bytes_received += packet.payload_bytes
+            self.uids.append(packet.uid)
+            previous(packet)
+
+        node.app_receive = _receive

@@ -1,0 +1,3 @@
+"""Package version, importable without pulling in heavy modules."""
+
+__version__ = "1.0.0"

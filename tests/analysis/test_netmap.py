@@ -1,0 +1,49 @@
+"""Tests for ASCII topology rendering."""
+
+import pytest
+
+from repro.analysis.netmap import render_topology
+from repro.mobility.static import StaticModel
+
+
+def test_nodes_appear_with_labels():
+    model = StaticModel([(0.0, 0.0), (500.0, 0.0), (250.0, 200.0)])
+    art = render_topology(model, t=0.0)
+    assert "0" in art and "1" in art and "2" in art
+    assert art.count("|") >= 2  # bordered
+
+
+def test_links_drawn_when_range_given():
+    model = StaticModel([(0.0, 0.0), (200.0, 0.0)])
+    linked = render_topology(model, t=0.0, rx_range=250.0)
+    unlinked = render_topology(model, t=0.0, rx_range=50.0)
+    assert "." in linked
+    assert "." not in unlinked
+
+
+def test_fixed_field_extent():
+    model = StaticModel([(100.0, 100.0)])
+    art = render_topology(model, t=0.0, field=(1000.0, 300.0))
+    assert "x:[0,1000]" in art
+    assert "y:[0,300]" in art
+
+
+def test_moving_nodes_change_the_picture():
+    from repro.mobility.trajectory import Segment, Trajectory
+    from repro.mobility.base import MobilityModel
+
+    model = MobilityModel(
+        {
+            0: Trajectory.stationary(0.0, 0.0),
+            1: Trajectory([Segment(t0=0.0, x0=0.0, y0=0.0, vx=50.0, vy=0.0)]),
+        }
+    )
+    early = render_topology(model, t=0.0, field=(500.0, 100.0))
+    late = render_topology(model, t=8.0, field=(500.0, 100.0))
+    assert early != late
+
+
+def test_size_validation():
+    model = StaticModel([(0.0, 0.0)])
+    with pytest.raises(ValueError):
+        render_topology(model, t=0.0, width_chars=5)

@@ -1,0 +1,47 @@
+"""Tests for the (optionally parallel) experiment runner."""
+
+from repro.analysis.runner import parallel_sweep, run_many
+from repro.scenarios.config import ScenarioConfig
+
+
+def _config(seed=1, pause=0.0):
+    return ScenarioConfig(
+        num_nodes=10,
+        field_width=500.0,
+        field_height=300.0,
+        duration=12.0,
+        num_sessions=3,
+        pause_time=pause,
+        seed=seed,
+    )
+
+
+def test_run_many_in_process():
+    results = run_many([_config(seed=1), _config(seed=2)], processes=1)
+    assert len(results) == 2
+    assert results[0] != results[1]  # different seeds
+
+
+def test_run_many_matches_direct_execution():
+    from repro.scenarios.builder import run_scenario
+
+    [result] = run_many([_config(seed=3)], processes=1)
+    assert result == run_scenario(_config(seed=3))
+
+
+def test_run_many_parallel_matches_serial():
+    configs = [_config(seed=s) for s in (1, 2)]
+    serial = run_many(configs, processes=1)
+    parallel = run_many(configs, processes=2)
+    assert serial == parallel
+
+
+def test_parallel_sweep_shapes():
+    points = parallel_sweep(
+        lambda pause, seed: _config(seed=seed, pause=pause),
+        xs=[0.0, 12.0],
+        seeds=[1, 2],
+        processes=1,
+    )
+    assert [point.x for point in points] == [0.0, 12.0]
+    assert all(point.aggregate.runs == 2 for point in points)

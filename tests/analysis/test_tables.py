@@ -1,0 +1,53 @@
+"""Unit tests for table/series formatting."""
+
+from repro.analysis.series import SweepPoint
+from repro.analysis.stats import Aggregate
+from repro.analysis.tables import format_series, format_table
+
+
+def _aggregate(pdf=0.9, runs=2):
+    means = {"pdf": pdf, "delay": 0.05, "overhead": 4.2}
+    return Aggregate(means=means, half_widths={k: 0.01 for k in means}, runs=runs)
+
+
+def test_format_table_contains_rows_and_headers():
+    text = format_table({"DSR": _aggregate(0.8), "AllTechniques": _aggregate(0.95)})
+    assert "variant" in text
+    assert "DSR" in text and "AllTechniques" in text
+    assert "delivery fraction" in text
+    lines = text.splitlines()
+    assert len(lines) == 4  # header + divider + 2 rows
+
+
+def test_format_series_with_confidence_intervals():
+    points = [
+        SweepPoint(x=0.0, label="0", aggregate=_aggregate()),
+        SweepPoint(x=100.0, label="100", aggregate=_aggregate()),
+    ]
+    text = format_series(points, x_title="pause (s)")
+    assert "pause (s)" in text
+    assert "±" in text
+
+
+def test_format_series_without_ci_for_single_run():
+    points = [SweepPoint(x=0.0, label="0", aggregate=_aggregate(runs=1))]
+    text = format_series(points)
+    assert "±" not in text
+
+
+def test_infinite_values_rendered():
+    means = {"pdf": float("inf"), "delay": 0.0, "overhead": 0.0}
+    agg = Aggregate(means=means, half_widths={k: 0.0 for k in means}, runs=1)
+    text = format_table({"X": agg})
+    assert "inf" in text
+
+
+def test_custom_metric_selection():
+    agg = Aggregate(
+        means={"good_replies_pct": 59.0, "invalid_cache_pct": 21.0},
+        half_widths={"good_replies_pct": 1.0, "invalid_cache_pct": 1.0},
+        runs=1,
+    )
+    text = format_table({"DSR": agg}, metrics=("good_replies_pct", "invalid_cache_pct"))
+    assert "good replies (%)" in text
+    assert "invalid cached routes (%)" in text

@@ -1,0 +1,193 @@
+"""Unit tests for AODV protocol logic (agent wired to fakes)."""
+
+import numpy as np
+
+from repro.baselines.aodv.agent import AodvAgent
+from repro.baselines.aodv.messages import AodvError, AodvReply, AodvRequest
+from repro.net.addresses import BROADCAST
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+
+from tests.helpers import FakeNode
+
+
+def make_aodv_agent(node_id):
+    sim = Simulator()
+    agent = AodvAgent(node_id, sim, rng=np.random.default_rng(node_id + 1))
+    node = FakeNode(node_id, sim, agent)
+    return agent, node, sim
+
+
+def _data(src, dst, uid=1):
+    return Packet(kind=PacketKind.DATA, src=src, dst=dst, uid=uid, payload_bytes=512)
+
+
+def _rreq_packet(origin, target, request_id=1, hop_count=0, last_hop=None, ttl=10):
+    info = AodvRequest(
+        origin=origin,
+        origin_seq=1,
+        target=target,
+        target_seq=0,
+        request_id=request_id,
+        hop_count=hop_count,
+    )
+    info.last_hop = last_hop if last_hop is not None else origin
+    return Packet(
+        kind=PacketKind.AODV_RREQ, src=origin, dst=BROADCAST, uid=100, ttl=ttl, info=info
+    )
+
+
+def test_originate_without_route_floods():
+    agent, node, sim = make_aodv_agent(0)
+    agent.originate(_data(0, 5))
+    assert len(agent.send_buffer) == 1
+    requests = [p for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RREQ]
+    assert len(requests) == 1
+    assert requests[0].info.target == 5
+
+
+def test_originate_with_route_forwards():
+    agent, node, sim = make_aodv_agent(0)
+    agent.table.update(5, next_hop=2, hop_count=2, seq=1, now=0.0)
+    agent.originate(_data(0, 5, uid=9))
+    data = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.DATA]
+    assert len(data) == 1
+    assert data[0][1] == 2
+
+
+def test_rreq_installs_reverse_route_and_rebroadcasts():
+    agent, node, sim = make_aodv_agent(3)
+    agent.handle_packet(_rreq_packet(0, 9, hop_count=1, last_hop=2))
+    entry = agent.table.lookup(0, sim.now)
+    assert entry is not None
+    assert entry.next_hop == 2 and entry.hop_count == 2
+    sim.run(until=0.1)  # rebroadcast jitter
+    rebroadcasts = [p for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RREQ]
+    assert len(rebroadcasts) == 1
+    assert rebroadcasts[0].info.hop_count == 2
+    assert rebroadcasts[0].info.last_hop == 3
+
+
+def test_duplicate_rreq_not_rebroadcast():
+    agent, node, sim = make_aodv_agent(3)
+    agent.handle_packet(_rreq_packet(0, 9, last_hop=2))
+    agent.handle_packet(_rreq_packet(0, 9, last_hop=4))
+    sim.run(until=0.1)
+    rebroadcasts = [p for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RREQ]
+    assert len(rebroadcasts) == 1
+
+
+def test_target_replies_with_incremented_seq():
+    agent, node, sim = make_aodv_agent(9)
+    agent.handle_packet(_rreq_packet(0, 9, hop_count=1, last_hop=2))
+    replies = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RREP]
+    assert len(replies) == 1
+    reply, next_hop = replies[0]
+    assert next_hop == 2  # reverse route
+    assert reply.info.target == 9
+    assert reply.info.target_seq >= 1
+    assert reply.info.hop_count == 0
+
+
+def test_intermediate_with_fresh_route_replies():
+    agent, node, sim = make_aodv_agent(3)
+    agent.table.update(9, next_hop=7, hop_count=2, seq=5, now=0.0)
+    agent.handle_packet(_rreq_packet(0, 9, hop_count=0, last_hop=0))
+    sim.run(until=0.1)
+    replies = [p for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RREP]
+    rebroadcasts = [p for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RREQ]
+    assert len(replies) == 1
+    assert replies[0].info.hop_count == 2
+    assert rebroadcasts == []  # quenched
+
+
+def test_reply_installs_forward_route_and_drains_buffer():
+    agent, node, sim = make_aodv_agent(0)
+    agent.originate(_data(0, 9, uid=11))
+    reply_info = AodvReply(origin=0, target=9, target_seq=3, hop_count=1)
+    reply_info.last_hop = 2
+    reply = Packet(kind=PacketKind.AODV_RREP, src=2, dst=0, uid=200, info=reply_info)
+    agent.handle_packet(reply)
+    entry = agent.table.lookup(9, sim.now)
+    assert entry.next_hop == 2 and entry.hop_count == 2
+    data = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.DATA]
+    assert [p.uid for p, _ in data] == [11]
+    assert data[0][1] == 2
+
+
+def test_reply_forwarded_along_reverse_route():
+    agent, node, sim = make_aodv_agent(3)
+    agent.table.update(0, next_hop=1, hop_count=1, seq=1, now=0.0)
+    reply_info = AodvReply(origin=0, target=9, target_seq=3, hop_count=0)
+    reply_info.last_hop = 9
+    reply = Packet(kind=PacketKind.AODV_RREP, src=9, dst=0, uid=200, info=reply_info)
+    agent.handle_packet(reply)
+    forwarded = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RREP]
+    assert len(forwarded) == 1
+    assert forwarded[0][1] == 1
+    assert forwarded[0][0].info.hop_count == 1
+
+
+def test_data_forwarding_uses_table():
+    agent, node, sim = make_aodv_agent(3)
+    agent.table.update(9, next_hop=7, hop_count=2, seq=1, now=0.0)
+    agent.handle_packet(_data(0, 9, uid=5))
+    data = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.DATA]
+    assert data[0][1] == 7
+
+
+def test_data_without_route_dropped_with_error():
+    agent, node, sim = make_aodv_agent(3)
+    agent.handle_packet(_data(0, 9, uid=5))
+    errors = [p for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RERR]
+    data = [p for p, nh in node.mac.sent if p.kind is PacketKind.DATA]
+    assert data == []
+    assert len(errors) == 1
+
+
+def test_link_failure_invalidates_routes_and_broadcasts_error():
+    agent, node, sim = make_aodv_agent(3)
+    agent.table.update(9, next_hop=7, hop_count=2, seq=4, now=0.0)
+    agent.table.update(8, next_hop=7, hop_count=3, seq=2, now=0.0)
+    agent.table.update(5, next_hop=6, hop_count=1, seq=1, now=0.0)
+    failed = _data(0, 9, uid=5)
+    agent.handle_unicast_failure(failed, next_hop=7)
+    assert agent.table.lookup(9, sim.now) is None
+    assert agent.table.lookup(8, sim.now) is None
+    assert agent.table.lookup(5, sim.now) is not None  # different next hop
+    errors = [p for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RERR]
+    assert len(errors) == 1
+    unreachable = dict(errors[0].info.unreachable)
+    assert set(unreachable) == {9, 8}
+    assert unreachable[9] == 5  # sequence bumped
+
+
+def test_error_cascades_only_through_dependent_routes():
+    agent, node, sim = make_aodv_agent(3)
+    agent.table.update(9, next_hop=7, hop_count=2, seq=4, now=0.0)
+    error_info = AodvError(unreachable=[(9, 5)])
+    error_info.reporter = 7
+    error = Packet(
+        kind=PacketKind.AODV_RERR, src=7, dst=BROADCAST, uid=300, ttl=1, info=error_info
+    )
+    agent.handle_packet(error)
+    assert agent.table.lookup(9, sim.now) is None
+    cascaded = [p for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RERR]
+    assert len(cascaded) == 1
+
+    # A second error about a destination we route elsewhere: no cascade.
+    agent2, node2, sim2 = make_aodv_agent(4)
+    agent2.table.update(9, next_hop=1, hop_count=2, seq=4, now=0.0)
+    agent2.handle_packet(error)
+    assert agent2.table.lookup(9, sim2.now) is not None
+    assert [p for p, nh in node2.mac.sent if p.kind is PacketKind.AODV_RERR] == []
+
+
+def test_source_rediscovers_after_failure():
+    agent, node, sim = make_aodv_agent(0)
+    agent.table.update(9, next_hop=7, hop_count=2, seq=4, now=0.0)
+    failed = _data(0, 9, uid=5)
+    agent.handle_unicast_failure(failed, next_hop=7)
+    assert agent.send_buffer.has_packets_for(9)
+    requests = [p for p, nh in node.mac.sent if p.kind is PacketKind.AODV_RREQ]
+    assert len(requests) == 1

@@ -1,0 +1,91 @@
+"""Unit tests for the AODV routing table."""
+
+from repro.baselines.aodv.table import RoutingTable
+
+
+def test_update_and_lookup():
+    table = RoutingTable()
+    assert table.update(5, next_hop=2, hop_count=3, seq=1, now=0.0)
+    entry = table.lookup(5, now=1.0)
+    assert entry is not None
+    assert (entry.next_hop, entry.hop_count, entry.seq) == (2, 3, 1)
+
+
+def test_lookup_expires_routes_lazily():
+    table = RoutingTable(active_route_timeout=10.0)
+    table.update(5, next_hop=2, hop_count=3, seq=1, now=0.0)
+    assert table.lookup(5, now=9.9) is not None
+    assert table.lookup(5, now=10.0) is None
+    # The entry survives invalid (sequence number memory).
+    assert table.entry(5) is not None
+    assert not table.entry(5).valid
+
+
+def test_newer_sequence_number_wins():
+    table = RoutingTable()
+    table.update(5, next_hop=2, hop_count=3, seq=1, now=0.0)
+    assert table.update(5, next_hop=9, hop_count=7, seq=2, now=0.0)
+    assert table.lookup(5, now=1.0).next_hop == 9
+
+
+def test_equal_seq_fewer_hops_wins():
+    table = RoutingTable()
+    table.update(5, next_hop=2, hop_count=3, seq=1, now=0.0)
+    assert table.update(5, next_hop=9, hop_count=2, seq=1, now=0.0)
+    assert table.lookup(5, now=1.0).next_hop == 9
+    assert not table.update(5, next_hop=4, hop_count=6, seq=1, now=0.0)
+    assert table.lookup(5, now=1.0).next_hop == 9
+
+
+def test_stale_sequence_number_rejected():
+    table = RoutingTable()
+    table.update(5, next_hop=2, hop_count=3, seq=4, now=0.0)
+    assert not table.update(5, next_hop=9, hop_count=1, seq=3, now=0.0)
+    assert table.lookup(5, now=1.0).next_hop == 2
+
+
+def test_confirming_update_extends_lifetime():
+    table = RoutingTable(active_route_timeout=10.0)
+    table.update(5, next_hop=2, hop_count=3, seq=1, now=0.0)
+    table.update(5, next_hop=2, hop_count=3, seq=1, now=8.0)
+    assert table.lookup(5, now=15.0) is not None
+
+
+def test_refresh_extends_active_route():
+    table = RoutingTable(active_route_timeout=10.0)
+    table.update(5, next_hop=2, hop_count=3, seq=1, now=0.0)
+    table.refresh(5, now=9.0)
+    assert table.lookup(5, now=15.0) is not None
+
+
+def test_invalidate_bumps_sequence():
+    table = RoutingTable()
+    table.update(5, next_hop=2, hop_count=3, seq=4, now=0.0)
+    broken = table.invalidate(5)
+    assert broken.seq == 5
+    assert table.lookup(5, now=0.0) is None
+    assert table.invalidate(5) is None  # already invalid
+
+
+def test_routes_via_next_hop():
+    table = RoutingTable()
+    table.update(5, next_hop=2, hop_count=3, seq=1, now=0.0)
+    table.update(6, next_hop=2, hop_count=4, seq=1, now=0.0)
+    table.update(7, next_hop=3, hop_count=1, seq=1, now=0.0)
+    via_2 = {entry.destination for entry in table.routes_via(2)}
+    assert via_2 == {5, 6}
+
+
+def test_precursors_preserved_across_updates():
+    table = RoutingTable()
+    table.update(5, next_hop=2, hop_count=3, seq=1, now=0.0)
+    table.add_precursor(5, 8)
+    table.update(5, next_hop=9, hop_count=2, seq=2, now=0.0)
+    assert 8 in table.entry(5).precursors
+
+
+def test_last_known_seq():
+    table = RoutingTable()
+    assert table.last_known_seq(5) == 0
+    table.update(5, next_hop=2, hop_count=3, seq=7, now=0.0)
+    assert table.last_known_seq(5) == 7

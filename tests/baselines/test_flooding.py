@@ -1,0 +1,77 @@
+"""Tests for the controlled-flooding baseline."""
+
+import numpy as np
+
+from repro.baselines.flooding import FloodingAgent
+from repro.net.addresses import BROADCAST
+from repro.net.packet import Packet, PacketKind
+from repro.sim.engine import Simulator
+
+from tests.helpers import FakeNode
+
+
+def make_flooding_agent(node_id):
+    sim = Simulator()
+    agent = FloodingAgent(node_id, sim, rng=np.random.default_rng(node_id + 1))
+    node = FakeNode(node_id, sim, agent)
+    return agent, node, sim
+
+
+def _data(src, dst, uid=1, ttl=16):
+    return Packet(kind=PacketKind.DATA, src=src, dst=dst, uid=uid, payload_bytes=64, ttl=ttl)
+
+
+def test_originate_broadcasts():
+    agent, node, sim = make_flooding_agent(0)
+    agent.originate(_data(0, 5))
+    assert len(node.mac.sent) == 1
+    packet, next_hop = node.mac.sent[0]
+    assert next_hop == BROADCAST
+    assert packet.ttl == agent.default_ttl
+
+
+def test_forwarding_decrements_ttl_with_jitter():
+    agent, node, sim = make_flooding_agent(3)
+    agent.handle_packet(_data(0, 5, ttl=4))
+    assert node.mac.sent == []  # jittered
+    sim.run(until=0.1)
+    packet, _ = node.mac.sent[0]
+    assert packet.ttl == 3
+
+
+def test_duplicates_suppressed():
+    agent, node, sim = make_flooding_agent(3)
+    agent.handle_packet(_data(0, 5, uid=9))
+    agent.handle_packet(_data(0, 5, uid=9))
+    sim.run(until=0.1)
+    assert len(node.mac.sent) == 1
+
+
+def test_destination_delivers_and_does_not_forward():
+    agent, node, sim = make_flooding_agent(5)
+    agent.handle_packet(_data(0, 5, uid=9))
+    sim.run(until=0.1)
+    assert [p.uid for p in node.delivered] == [9]
+    assert node.mac.sent == []
+
+
+def test_ttl_expiry_stops_the_flood():
+    agent, node, sim = make_flooding_agent(3)
+    agent.handle_packet(_data(0, 5, ttl=1))
+    sim.run(until=0.1)
+    assert node.mac.sent == []
+
+
+def test_flooding_end_to_end_beats_nothing_but_costs_everything():
+    from repro.scenarios.builder import run_scenario
+    from repro.scenarios.presets import tiny_scenario
+
+    flooding = run_scenario(
+        tiny_scenario(seed=4).but(protocol="flooding", duration=20.0)
+    )
+    dsr = run_scenario(tiny_scenario(seed=4).but(duration=20.0))
+    assert flooding.packet_delivery_fraction > 0.8
+    # Flooding's per-delivery transmission bill dwarfs DSR's.
+    flooding_cost = flooding.data_tx / max(flooding.data_received, 1)
+    dsr_cost = dsr.data_tx / max(dsr.data_received, 1)
+    assert flooding_cost > 2 * dsr_cost

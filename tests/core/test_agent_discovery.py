@@ -1,0 +1,218 @@
+"""DSR agent unit tests: route discovery (requests, replies, backoff)."""
+
+import pytest
+
+from repro.core.config import DsrConfig
+from repro.core.messages import RouteReply, RouteRequest
+from repro.net.addresses import BROADCAST
+from repro.net.packet import Packet, PacketKind
+
+from tests.helpers import make_agent
+
+
+def _data(src, dst, uid=1):
+    return Packet(kind=PacketKind.DATA, src=src, dst=dst, uid=uid, payload_bytes=512)
+
+
+def _rreq(origin, target, request_id=1, record=None, ttl=255):
+    return Packet(
+        kind=PacketKind.RREQ,
+        src=origin,
+        dst=BROADCAST,
+        uid=origin * 1000 + request_id,
+        ttl=ttl,
+        info=RouteRequest(
+            origin=origin, target=target, request_id=request_id, record=record or [origin]
+        ),
+    )
+
+
+def test_originate_without_route_buffers_and_sends_nonprop_rreq():
+    agent, node, sim = make_agent(0)
+    agent.originate(_data(0, 5))
+    assert len(agent.send_buffer) == 1
+    assert len(node.mac.sent) == 1
+    packet, next_hop = node.mac.sent[0]
+    assert packet.kind is PacketKind.RREQ
+    assert next_hop == BROADCAST
+    assert packet.ttl == 1  # non-propagating first
+
+
+def test_discovery_escalates_to_network_flood():
+    agent, node, sim = make_agent(0)
+    agent.originate(_data(0, 5))
+    sim.run(until=0.1)  # past the 30 ms non-propagating timeout
+    requests = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ]
+    assert len(requests) == 2
+    assert requests[1].ttl == agent.config.rreq_ttl
+
+
+def test_discovery_backs_off_exponentially():
+    agent, node, sim = make_agent(0)
+    agent.originate(_data(0, 5))
+    sim.run(until=4.0)
+    requests = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ]
+    times = sorted(p.born for p in requests)
+    gaps = [b - a for a, b in zip(times, times[1:])]
+    # Gaps grow: nonprop timeout, then 0.5, 1.0, 2.0...
+    assert all(later >= earlier for earlier, later in zip(gaps, gaps[1:]))
+    assert len(requests) >= 3
+
+
+def test_nonprop_disabled_floods_immediately():
+    agent, node, sim = make_agent(0, dsr=DsrConfig(nonpropagating_requests=False))
+    agent.originate(_data(0, 5))
+    packet, _ = node.mac.sent[0]
+    assert packet.ttl == agent.config.rreq_ttl
+
+
+def test_target_replies_with_accumulated_route():
+    agent, node, sim = make_agent(5)
+    agent.handle_packet(_rreq(0, 5, record=[0, 2, 3]))
+    sim.run(until=0.1)  # reply jitter
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert len(replies) == 1
+    reply = replies[0]
+    assert reply.info.route == [0, 2, 3, 5]
+    assert reply.source_route == [5, 3, 2, 0]
+    assert not reply.info.from_cache
+
+
+def test_target_replies_to_every_request_copy():
+    agent, node, sim = make_agent(5)
+    agent.handle_packet(_rreq(0, 5, record=[0, 2, 3]))
+    agent.handle_packet(_rreq(0, 5, record=[0, 7, 8]))  # same request id
+    sim.run(until=0.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert len(replies) == 2
+
+
+def test_intermediate_rebroadcasts_with_self_appended():
+    agent, node, sim = make_agent(3)
+    agent.handle_packet(_rreq(0, 9, record=[0, 2], ttl=10))
+    sim.run(until=0.1)  # rebroadcast jitter
+    forwarded = [p for p, nh in node.mac.sent if p.kind is PacketKind.RREQ]
+    assert len(forwarded) == 1
+    assert forwarded[0].info.record == [0, 2, 3]
+    assert forwarded[0].ttl == 9
+
+
+def test_duplicate_request_not_rebroadcast():
+    agent, node, sim = make_agent(3)
+    agent.handle_packet(_rreq(0, 9, record=[0, 2], ttl=10))
+    agent.handle_packet(_rreq(0, 9, record=[0, 4], ttl=10))
+    sim.run(until=0.1)
+    forwarded = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ]
+    assert len(forwarded) == 1
+
+
+def test_request_with_self_in_record_dropped():
+    agent, node, sim = make_agent(3)
+    agent.handle_packet(_rreq(0, 9, record=[0, 3, 4], ttl=10))
+    sim.run(until=0.1)
+    assert node.mac.sent == []
+
+
+def test_ttl_exhausted_request_not_rebroadcast():
+    agent, node, sim = make_agent(3)
+    agent.handle_packet(_rreq(0, 9, record=[0], ttl=1))
+    sim.run(until=0.1)
+    assert node.mac.sent == []
+
+
+def test_reverse_route_cached_from_request():
+    agent, node, sim = make_agent(3)
+    agent.handle_packet(_rreq(0, 9, record=[0, 2], ttl=10))
+    assert agent.cache.find(0) == [3, 2, 0]
+
+
+def test_cache_reply_quenches_flood():
+    agent, node, sim = make_agent(3)
+    agent.cache.add([3, 7, 9], now=0.0)
+    agent.handle_packet(_rreq(0, 9, record=[0, 2], ttl=10))
+    sim.run(until=0.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    rebroadcasts = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ]
+    assert len(replies) == 1
+    assert rebroadcasts == []
+    assert replies[0].info.route == [0, 2, 3, 7, 9]
+    assert replies[0].info.from_cache
+
+
+def test_cache_reply_declined_when_concatenation_loops():
+    agent, node, sim = make_agent(3)
+    agent.cache.add([3, 2, 9], now=0.0)  # 2 already in the accumulated record
+    agent.handle_packet(_rreq(0, 9, record=[0, 2], ttl=10))
+    sim.run(until=0.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    rebroadcasts = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ]
+    assert replies == []
+    assert len(rebroadcasts) == 1  # falls back to flooding
+
+
+def test_cache_reply_disabled_by_config():
+    agent, node, sim = make_agent(3, dsr=DsrConfig(reply_from_cache=False))
+    agent.cache.add([3, 7, 9], now=0.0)
+    agent.handle_packet(_rreq(0, 9, record=[0, 2], ttl=10))
+    sim.run(until=0.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert replies == []
+
+
+def test_reply_arrival_drains_send_buffer():
+    agent, node, sim = make_agent(0)
+    agent.originate(_data(0, 5, uid=11))
+    agent.originate(_data(0, 5, uid=12))
+    reply = Packet(
+        kind=PacketKind.RREP,
+        src=5,
+        dst=0,
+        uid=999,
+        source_route=[5, 2, 0],
+        route_index=2,
+        info=RouteReply(route=[0, 2, 5], request_id=1),
+    )
+    agent.handle_packet(reply)
+    data = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.DATA]
+    assert [p.uid for p, _ in data] == [11, 12]
+    assert all(nh == 2 for _, nh in data)
+    assert all(p.source_route == [0, 2, 5] for p, _ in data)
+    assert len(agent.send_buffer) == 0
+    assert agent.cache.find(5) == [0, 2, 5]
+
+
+def test_reply_cancels_discovery_retries():
+    agent, node, sim = make_agent(0)
+    agent.originate(_data(0, 5))
+    reply = Packet(
+        kind=PacketKind.RREP,
+        src=5,
+        dst=0,
+        uid=999,
+        source_route=[5, 2, 0],
+        route_index=2,
+        info=RouteReply(route=[0, 2, 5], request_id=1),
+    )
+    agent.handle_packet(reply)
+    before = len([p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ])
+    sim.run(until=5.0)
+    after = len([p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ])
+    assert before == after  # no further requests
+
+
+def test_originate_with_cached_route_sends_immediately():
+    agent, node, sim = make_agent(0)
+    agent.cache.add([0, 2, 5], now=0.0)
+    agent.originate(_data(0, 5, uid=7))
+    packet, next_hop = node.mac.sent[0]
+    assert packet.kind is PacketKind.DATA
+    assert packet.source_route == [0, 2, 5]
+    assert packet.route_index == 1
+    assert next_hop == 2
+
+
+def test_originate_to_self_delivers_locally():
+    agent, node, sim = make_agent(0)
+    agent.originate(_data(0, 0, uid=1))
+    assert [p.uid for p in node.delivered] == [1]
+    assert node.mac.sent == []

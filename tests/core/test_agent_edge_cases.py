@@ -1,0 +1,166 @@
+"""DSR agent edge cases not covered by the mainline behaviour tests."""
+
+from repro.core.config import DsrConfig
+from repro.core.messages import RouteError, RouteReply
+from repro.net.addresses import BROADCAST
+from repro.net.packet import Packet, PacketKind
+
+from tests.helpers import make_agent
+
+
+def _data(src, dst, uid=1):
+    return Packet(kind=PacketKind.DATA, src=src, dst=dst, uid=uid, payload_bytes=512)
+
+
+def test_destination_learns_reverse_route_from_data():
+    agent, node, sim = make_agent(5)
+    arrived = Packet(
+        kind=PacketKind.DATA,
+        src=0,
+        dst=5,
+        uid=9,
+        payload_bytes=512,
+        source_route=[0, 2, 5],
+        route_index=2,
+    )
+    agent.handle_packet(arrived)
+    assert [p.uid for p in node.delivered] == [9]
+    assert agent.cache.find(0) == [5, 2, 0]
+
+
+def test_wider_error_source_failure_still_rediscovers():
+    agent, node, sim = make_agent(0, dsr=DsrConfig.with_wider_error())
+    failed = Packet(
+        kind=PacketKind.DATA,
+        src=0,
+        dst=6,
+        uid=9,
+        payload_bytes=512,
+        source_route=[0, 2, 6],
+        route_index=1,
+    )
+    agent.handle_unicast_failure(failed, next_hop=2)
+    kinds = [p.kind for p, _ in node.mac.sent]
+    assert PacketKind.RERR in kinds  # broadcast error
+    assert PacketKind.RREQ in kinds  # rediscovery for the buffered packet
+    assert agent.send_buffer.has_packets_for(6)
+
+
+def test_send_buffer_overflow_drops_oldest_with_trace():
+    from repro.sim.trace import Tracer
+
+    drops = []
+    tracer = Tracer()
+    tracer.subscribe("dsr.drop", drops.append)
+    agent, node, sim = make_agent(
+        0, dsr=DsrConfig(send_buffer_capacity=2), tracer=tracer
+    )
+    for uid in (1, 2, 3):
+        agent.originate(_data(0, 9, uid=uid))
+    assert len(agent.send_buffer) == 2
+    reasons = [record.fields["reason"] for record in drops]
+    assert reasons == ["send-buffer-overflow"]
+    assert drops[0].fields["uid"] == 1  # oldest sacrificed
+
+
+def test_gratuitous_reply_received_caches_without_discovery_state():
+    agent, node, sim = make_agent(0)
+    grat = Packet(
+        kind=PacketKind.RREP,
+        src=5,
+        dst=0,
+        uid=44,
+        source_route=[5, 0],
+        route_index=1,
+        info=RouteReply(route=[0, 5, 9], request_id=0, gratuitous=True),
+    )
+    agent.handle_packet(grat)  # must not blow up despite no discovery
+    assert agent.cache.find(9) == [0, 5, 9]
+
+
+def test_rerr_about_unknown_link_is_harmless():
+    agent, node, sim = make_agent(3)
+    agent.cache.add([3, 4, 5], now=0.0)
+    error = Packet(
+        kind=PacketKind.RERR,
+        src=8,
+        dst=3,
+        uid=4,
+        source_route=[8, 3],
+        route_index=1,
+        info=RouteError(link=(90, 91), detector=8, error_id=1),
+    )
+    agent.handle_packet(error)
+    assert agent.cache.find(5) == [3, 4, 5]  # untouched
+
+
+def test_snooped_packet_with_self_as_transmitter_ignored():
+    agent, node, sim = make_agent(2)
+    # A copy of our own transmission somehow tapped back: route_index
+    # points at the receiver, transmitter index is us.
+    packet = Packet(
+        kind=PacketKind.DATA,
+        src=0,
+        dst=5,
+        uid=1,
+        payload_bytes=512,
+        source_route=[0, 2, 5],
+        route_index=2,  # we (index 1) transmitted to 5
+    )
+    agent.handle_promiscuous(packet)
+    # Learning from our own route is fine; it must not create loops.
+    for cached in agent.cache.paths():
+        assert len(set(cached.route)) == len(cached.route)
+
+
+def test_duplicate_data_at_destination_delivered_once_per_uid_upstream():
+    """The routing layer delivers whatever the MAC hands it; end-to-end
+    dedup is the metrics layer's job.  Just ensure repeated delivery does
+    not corrupt agent state."""
+    agent, node, sim = make_agent(5)
+    arrived = Packet(
+        kind=PacketKind.DATA,
+        src=0,
+        dst=5,
+        uid=9,
+        payload_bytes=512,
+        source_route=[0, 5],
+        route_index=1,
+    )
+    agent.handle_packet(arrived)
+    agent.handle_packet(arrived.clone())
+    assert len(node.delivered) == 2
+
+
+def test_zero_payload_data_packet_routes_normally():
+    agent, node, sim = make_agent(0)
+    agent.cache.add([0, 2, 5], now=0.0)
+    agent.originate(Packet(kind=PacketKind.DATA, src=0, dst=5, uid=1, payload_bytes=0))
+    data = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.DATA]
+    assert len(data) == 1
+
+
+def test_discovery_for_two_targets_runs_independently():
+    agent, node, sim = make_agent(0)
+    agent.originate(_data(0, 5, uid=1))
+    agent.originate(_data(0, 6, uid=2))
+    requests = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ]
+    targets = {p.info.target for p in requests}
+    assert targets == {5, 6}
+    # A reply for 5 must not cancel 6's retries.
+    reply = Packet(
+        kind=PacketKind.RREP,
+        src=5,
+        dst=0,
+        uid=99,
+        source_route=[5, 0],
+        route_index=1,
+        info=RouteReply(route=[0, 5], request_id=1),
+    )
+    agent.handle_packet(reply)
+    assert not agent.send_buffer.has_packets_for(5)
+    assert agent.send_buffer.has_packets_for(6)
+    before = len([p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ])
+    sim.run(until=2.0)
+    after = len([p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ])
+    assert after > before  # retries for 6 continued

@@ -1,0 +1,203 @@
+"""DSR agent unit tests: route maintenance (errors, salvaging, recovery)."""
+
+from repro.core.config import DsrConfig
+from repro.core.expiry import AdaptiveTimeout
+from repro.core.messages import RouteError
+from repro.net.packet import Packet, PacketKind
+
+from tests.helpers import make_agent
+
+
+def _inflight(node_id, route, uid=1, salvaged=0):
+    """A data packet this node just tried (and failed) to forward: the MAC
+    hands it back with route_index pointing at the dead next hop."""
+    return Packet(
+        kind=PacketKind.DATA,
+        src=route[0],
+        dst=route[-1],
+        uid=uid,
+        payload_bytes=512,
+        source_route=list(route),
+        route_index=route.index(node_id) + 1,
+        salvaged=salvaged,
+    )
+
+
+def test_failure_removes_link_and_unicasts_error_to_source():
+    agent, node, sim = make_agent(2)
+    agent.cache.add([2, 5, 6], now=0.0)
+    failed = _inflight(2, [0, 2, 5, 6], uid=9)
+    agent.handle_unicast_failure(failed, next_hop=5)
+    assert agent.cache.find(5) is None
+    errors = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.RERR]
+    assert len(errors) == 1
+    error, next_hop = errors[0]
+    assert error.dst == 0
+    assert error.source_route == [2, 0]
+    assert next_hop == 0
+    assert error.info.link == (2, 5)
+
+
+def test_failure_salvages_with_alternate_route():
+    agent, node, sim = make_agent(2)
+    agent.cache.add([2, 7, 6], now=0.0)
+    failed = _inflight(2, [0, 2, 5, 6], uid=9)
+    agent.handle_unicast_failure(failed, next_hop=5)
+    data = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.DATA]
+    assert len(data) == 1
+    salvaged, next_hop = data[0]
+    assert salvaged.source_route == [2, 7, 6]
+    assert salvaged.salvaged == 1
+    assert salvaged.uid == 9
+    assert next_hop == 7
+
+
+def test_salvage_count_limit_respected():
+    agent, node, sim = make_agent(2, dsr=DsrConfig(max_salvage_count=2))
+    agent.cache.add([2, 7, 6], now=0.0)
+    failed = _inflight(2, [0, 2, 5, 6], uid=9, salvaged=2)
+    agent.handle_unicast_failure(failed, next_hop=5)
+    data = [p for p, _ in node.mac.sent if p.kind is PacketKind.DATA]
+    assert data == []  # dropped instead of salvaged again
+
+
+def test_salvaging_disabled_drops_packet():
+    agent, node, sim = make_agent(2, dsr=DsrConfig(salvaging=False))
+    agent.cache.add([2, 7, 6], now=0.0)
+    failed = _inflight(2, [0, 2, 5, 6], uid=9)
+    agent.handle_unicast_failure(failed, next_hop=5)
+    data = [p for p, _ in node.mac.sent if p.kind is PacketKind.DATA]
+    assert data == []
+
+
+def test_failure_at_source_uses_alternate_or_rediscovers():
+    agent, node, sim = make_agent(0)
+    agent.cache.add([0, 3, 6], now=0.0)
+    failed = _inflight(0, [0, 2, 6], uid=9)
+    agent.handle_unicast_failure(failed, next_hop=2)
+    data = [(p, nh) for p, nh in node.mac.sent if p.kind is PacketKind.DATA]
+    assert len(data) == 1
+    retried, next_hop = data[0]
+    assert retried.source_route == [0, 3, 6]
+    assert next_hop == 3
+
+
+def test_failure_at_source_without_alternate_rediscovers():
+    agent, node, sim = make_agent(0)
+    failed = _inflight(0, [0, 2, 6], uid=9)
+    agent.handle_unicast_failure(failed, next_hop=2)
+    requests = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ]
+    assert len(requests) == 1
+    assert agent.send_buffer.has_packets_for(6)
+
+
+def test_failed_control_packet_not_salvaged():
+    agent, node, sim = make_agent(2)
+    agent.cache.add([2, 7, 0], now=0.0)
+    from repro.core.messages import RouteReply
+
+    reply = Packet(
+        kind=PacketKind.RREP,
+        src=6,
+        dst=0,
+        uid=3,
+        source_route=[6, 2, 0],
+        route_index=2,
+        info=RouteReply(route=[0, 2, 6], request_id=1),
+    )
+    agent.handle_unicast_failure(reply, next_hop=0)
+    forwarded = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert forwarded == []
+
+
+def test_received_error_feeds_adaptive_policy():
+    agent, node, sim = make_agent(
+        2, dsr=DsrConfig.with_adaptive_expiry()
+    )
+    assert isinstance(agent.policy, AdaptiveTimeout)
+    agent.cache.add([2, 5, 6], now=0.0)
+    sim.run(until=4.0)
+    error = Packet(
+        kind=PacketKind.RERR,
+        src=6,
+        dst=2,
+        uid=4,
+        source_route=[6, 2],
+        route_index=1,
+        info=RouteError(link=(5, 6), detector=6, error_id=1),
+    )
+    agent.handle_packet(error)
+    assert agent.policy.breaks_observed == 1
+    assert agent.policy.average_lifetime == 4.0
+
+
+def test_error_to_source_sets_pending_gratuitous_repair():
+    agent, node, sim = make_agent(0)
+    error = Packet(
+        kind=PacketKind.RERR,
+        src=2,
+        dst=0,
+        uid=4,
+        source_route=[2, 0],
+        route_index=1,
+        info=RouteError(link=(2, 5), detector=2, error_id=1, target_source=0),
+    )
+    agent.handle_packet(error)
+    # The next route request must piggyback the error.
+    data = Packet(kind=PacketKind.DATA, src=0, dst=9, uid=5, payload_bytes=512)
+    agent.originate(data)
+    requests = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ]
+    assert len(requests) == 1
+    assert requests[0].piggyback is not None
+    assert requests[0].piggyback.link == (2, 5)
+
+
+def test_piggybacked_error_cleans_receiving_cache():
+    agent, node, sim = make_agent(3)
+    agent.cache.add([3, 2, 5, 8], now=0.0)
+    from repro.core.messages import RouteRequest
+    from repro.net.addresses import BROADCAST
+
+    request = Packet(
+        kind=PacketKind.RREQ,
+        src=0,
+        dst=BROADCAST,
+        uid=6,
+        ttl=10,
+        info=RouteRequest(origin=0, target=9, request_id=1, record=[0]),
+        piggyback=RouteError(link=(2, 5), detector=2, error_id=1),
+    )
+    agent.handle_packet(request)
+    assert agent.cache.find(8) is None
+    assert agent.cache.find(2) == [3, 2]
+
+
+def test_gratuitous_repair_disabled():
+    agent, node, sim = make_agent(0, dsr=DsrConfig(gratuitous_repair=False))
+    error = Packet(
+        kind=PacketKind.RERR,
+        src=2,
+        dst=0,
+        uid=4,
+        source_route=[2, 0],
+        route_index=1,
+        info=RouteError(link=(2, 5), detector=2, error_id=1),
+    )
+    agent.handle_packet(error)
+    agent.originate(Packet(kind=PacketKind.DATA, src=0, dst=9, uid=5))
+    requests = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREQ]
+    assert requests[0].piggyback is None
+
+
+def test_send_buffer_timeout_drops_stale_packets():
+    tracer_drops = []
+    from repro.sim.trace import Tracer
+
+    tracer = Tracer()
+    tracer.subscribe("dsr.drop", tracer_drops.append)
+    agent, node, sim = make_agent(0, tracer=tracer)
+    agent.originate(Packet(kind=PacketKind.DATA, src=0, dst=9, uid=5))
+    sim.run(until=35.0)  # past the 30 s send-buffer timeout
+    reasons = [r.fields["reason"] for r in tracer_drops]
+    assert "send-buffer-timeout" in reasons
+    assert not agent.send_buffer.has_packets_for(9)

@@ -1,0 +1,76 @@
+"""Unit tests for DsrConfig and the paper's named variants."""
+
+import pytest
+
+from repro.core.config import PAPER_VARIANTS, DsrConfig, ExpiryMode
+from repro.errors import ConfigurationError
+
+
+def test_base_has_optimisations_but_no_techniques():
+    config = DsrConfig.base()
+    assert config.reply_from_cache
+    assert config.salvaging
+    assert config.gratuitous_repair
+    assert config.promiscuous_listening
+    assert config.nonpropagating_requests
+    assert not config.wider_error
+    assert config.expiry_mode is ExpiryMode.NONE
+    assert not config.negative_cache
+
+
+def test_all_techniques_enables_everything():
+    config = DsrConfig.all_techniques()
+    assert config.wider_error
+    assert config.expiry_mode is ExpiryMode.ADAPTIVE
+    assert config.negative_cache
+
+
+def test_named_constructors():
+    assert DsrConfig.with_wider_error().wider_error
+    static = DsrConfig.with_static_expiry(25.0)
+    assert static.expiry_mode is ExpiryMode.STATIC and static.static_timeout == 25.0
+    assert DsrConfig.with_adaptive_expiry().expiry_mode is ExpiryMode.ADAPTIVE
+    assert DsrConfig.with_negative_cache().negative_cache
+
+
+def test_paper_variants_registry():
+    assert set(PAPER_VARIANTS) == {
+        "DSR",
+        "WiderError",
+        "AdaptiveExpiry",
+        "NegativeCache",
+        "AllTechniques",
+    }
+    assert PAPER_VARIANTS["DSR"] == DsrConfig.base()
+
+
+def test_but_creates_modified_copy():
+    base = DsrConfig.base()
+    modified = base.but(salvaging=False)
+    assert not modified.salvaging
+    assert base.salvaging  # original untouched
+
+
+def test_frozen():
+    config = DsrConfig()
+    with pytest.raises(AttributeError):
+        config.salvaging = False
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"static_timeout": 0.0},
+        {"adaptive_alpha": -1.0},
+        {"adaptive_min_timeout": 0.0},
+        {"expiry_check_period": 0.0},
+        {"negative_cache_size": 0},
+        {"negative_cache_timeout": 0.0},
+        {"cache_capacity": 0},
+        {"max_salvage_count": -1},
+        {"rreq_ttl": 0},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        DsrConfig(**kwargs)

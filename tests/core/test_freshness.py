@@ -1,0 +1,198 @@
+"""Tests for the relative-freshness extension (paper section 6 future work)."""
+
+from repro.core.config import DsrConfig
+from repro.core.freshness import LinkBreakHistory
+from repro.core.messages import RouteReply, RouteRequest
+from repro.net.addresses import BROADCAST
+from repro.net.packet import Packet, PacketKind
+
+from tests.helpers import make_agent
+
+
+# ---------------------------------------------------------------------------
+# LinkBreakHistory unit tests
+# ---------------------------------------------------------------------------
+
+
+def test_record_and_query_breaks():
+    history = LinkBreakHistory()
+    history.record_break((1, 2), now=5.0)
+    assert history.last_break((1, 2)) == 5.0
+    assert history.last_break((2, 1)) == float("-inf")
+
+
+def test_later_break_overrides_earlier():
+    history = LinkBreakHistory()
+    history.record_break((1, 2), now=5.0)
+    history.record_break((1, 2), now=9.0)
+    history.record_break((1, 2), now=7.0)  # out-of-order report
+    assert history.last_break((1, 2)) == 9.0
+
+
+def test_filter_route_truncates_predated_information():
+    history = LinkBreakHistory()
+    history.record_break((2, 3), now=10.0)
+    # Route generated at t=6: the (2,3) information predates the break.
+    assert history.filter_route([1, 2, 3, 4], generated_at=6.0) == [1, 2]
+    # Route generated at t=12: newer than the break, fully trusted.
+    assert history.filter_route([1, 2, 3, 4], generated_at=12.0) == [1, 2, 3, 4]
+
+
+def test_is_suspect():
+    history = LinkBreakHistory()
+    history.record_break((2, 3), now=10.0)
+    assert history.is_suspect([1, 2, 3], generated_at=6.0)
+    assert not history.is_suspect([1, 2, 3], generated_at=11.0)
+    assert not history.is_suspect([1, 2], generated_at=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Agent integration
+# ---------------------------------------------------------------------------
+
+
+def _reply_packet(route, generated_at, dst=0):
+    return Packet(
+        kind=PacketKind.RREP,
+        src=route[-1],
+        dst=dst,
+        uid=900,
+        source_route=list(reversed(route)),
+        route_index=len(route) - 1,
+        info=RouteReply(route=list(route), request_id=1, generated_at=generated_at),
+    )
+
+
+def test_fresh_reply_cached_at_generation_time():
+    agent, node, sim = make_agent(0, dsr=DsrConfig.with_freshness_tags())
+    sim.run(until=5.0)
+    agent.handle_packet(_reply_packet([0, 2, 5], generated_at=3.0))
+    assert agent.cache.find(5) == [0, 2, 5]
+    found = agent.cache.find_with_age(5)
+    assert found[1] == 3.0  # cached at information age, not arrival time
+
+
+def test_stale_reply_rejected_by_date_check():
+    agent, node, sim = make_agent(0, dsr=DsrConfig.with_freshness_tags())
+    sim.run(until=5.0)
+    agent._absorb_link_break((2, 5))  # we know (2,5) broke at t=5
+    sim.run(until=8.0)
+    # A reply generated at t=3 (before the break) arrives at t=8.
+    agent.handle_packet(_reply_packet([0, 2, 5], generated_at=3.0))
+    assert agent.cache.find(5) is None  # suspect part rejected
+    assert agent.cache.find(2) == [0, 2]  # clean prefix survives
+
+
+def test_reply_newer_than_break_is_trusted():
+    agent, node, sim = make_agent(0, dsr=DsrConfig.with_freshness_tags())
+    sim.run(until=5.0)
+    agent._absorb_link_break((2, 5))
+    sim.run(until=8.0)
+    agent.handle_packet(_reply_packet([0, 2, 5], generated_at=7.0))
+    assert agent.cache.find(5) == [0, 2, 5]
+
+
+def test_cache_replies_carry_entry_age():
+    agent, node, sim = make_agent(3, dsr=DsrConfig.with_freshness_tags())
+    sim.run(until=2.0)
+    agent.cache.add([3, 7, 9], now=2.0)
+    sim.run(until=6.0)
+    request = Packet(
+        kind=PacketKind.RREQ,
+        src=0,
+        dst=BROADCAST,
+        uid=5,
+        ttl=10,
+        info=RouteRequest(origin=0, target=9, request_id=1, record=[0]),
+    )
+    agent.handle_packet(request)
+    sim.run(until=6.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert len(replies) == 1
+    assert replies[0].info.generated_at == 2.0  # the cache entry's age
+
+
+def test_target_replies_stamped_now():
+    agent, node, sim = make_agent(9, dsr=DsrConfig.with_freshness_tags())
+    sim.run(until=4.0)
+    request = Packet(
+        kind=PacketKind.RREQ,
+        src=0,
+        dst=BROADCAST,
+        uid=5,
+        ttl=10,
+        info=RouteRequest(origin=0, target=9, request_id=1, record=[0, 3]),
+    )
+    agent.handle_packet(request)
+    sim.run(until=4.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert len(replies) == 1
+    assert replies[0].info.generated_at == 4.0
+
+
+def test_freshness_disabled_leaves_replies_untagged():
+    agent, node, sim = make_agent(9, dsr=DsrConfig.base())
+    request = Packet(
+        kind=PacketKind.RREQ,
+        src=0,
+        dst=BROADCAST,
+        uid=5,
+        ttl=10,
+        info=RouteRequest(origin=0, target=9, request_id=1, record=[0, 3]),
+    )
+    agent.handle_packet(request)
+    sim.run(until=0.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert replies[0].info.generated_at is None
+
+
+def test_freshness_end_to_end():
+    from repro.scenarios.builder import run_scenario
+    from repro.scenarios.presets import tiny_scenario
+
+    result = run_scenario(
+        tiny_scenario(dsr=DsrConfig.with_freshness_tags(), seed=4)
+    )
+    assert result.packet_delivery_fraction > 0.5
+
+
+# ---------------------------------------------------------------------------
+# Error snooping extension
+# ---------------------------------------------------------------------------
+
+
+def test_snooped_error_cleans_bystander_cache():
+    from repro.core.messages import RouteError
+
+    agent, node, sim = make_agent(7, dsr=DsrConfig(snoop_errors=True))
+    agent.cache.add([7, 2, 5, 6], now=0.0)
+    overheard = Packet(
+        kind=PacketKind.RERR,
+        src=2,
+        dst=0,
+        uid=4,
+        source_route=[2, 0],
+        route_index=1,
+        info=RouteError(link=(2, 5), detector=2, error_id=1),
+    )
+    agent.handle_promiscuous(overheard)
+    assert agent.cache.find(6) is None
+    assert agent.cache.find(2) == [7, 2]
+
+
+def test_base_dsr_ignores_overheard_errors():
+    from repro.core.messages import RouteError
+
+    agent, node, sim = make_agent(7, dsr=DsrConfig.base())
+    agent.cache.add([7, 2, 5, 6], now=0.0)
+    overheard = Packet(
+        kind=PacketKind.RERR,
+        src=2,
+        dst=0,
+        uid=4,
+        source_route=[2, 0],
+        route_index=1,
+        info=RouteError(link=(2, 5), detector=2, error_id=1),
+    )
+    agent.handle_promiscuous(overheard)
+    assert agent.cache.find(6) == [7, 2, 5, 6]  # untouched

@@ -1,0 +1,71 @@
+"""Unit tests for the negative cache."""
+
+import pytest
+
+from repro.core.negative_cache import NegativeCache
+
+
+def test_add_and_contains():
+    cache = NegativeCache(timeout=10.0)
+    cache.add((1, 2), now=0.0)
+    assert cache.contains((1, 2), now=5.0)
+    assert not cache.contains((2, 1), now=5.0)  # directional
+
+
+def test_entries_expire():
+    cache = NegativeCache(timeout=10.0)
+    cache.add((1, 2), now=0.0)
+    assert not cache.contains((1, 2), now=10.0)
+    assert len(cache) == 0  # lazy expiry removed it
+
+
+def test_re_add_refreshes_expiry():
+    cache = NegativeCache(timeout=10.0)
+    cache.add((1, 2), now=0.0)
+    cache.add((1, 2), now=8.0)
+    assert cache.contains((1, 2), now=15.0)
+
+
+def test_fifo_replacement():
+    cache = NegativeCache(capacity=2, timeout=100.0)
+    cache.add((1, 2), now=0.0)
+    cache.add((3, 4), now=1.0)
+    cache.add((5, 6), now=2.0)
+    assert not cache.contains((1, 2), now=3.0)
+    assert cache.contains((3, 4), now=3.0)
+    assert cache.contains((5, 6), now=3.0)
+
+
+def test_first_bad_link():
+    cache = NegativeCache(timeout=10.0)
+    cache.add((2, 3), now=0.0)
+    assert cache.first_bad_link([1, 2, 3, 4], now=1.0) == (2, 3)
+    assert cache.first_bad_link([1, 2], now=1.0) is None
+
+
+def test_filter_route_truncates_before_bad_link():
+    cache = NegativeCache(timeout=10.0)
+    cache.add((2, 3), now=0.0)
+    assert cache.filter_route([1, 2, 3, 4], now=1.0) == [1, 2]
+    assert cache.filter_route([1, 2], now=1.0) == [1, 2]
+
+
+def test_filter_route_with_bad_first_link():
+    cache = NegativeCache(timeout=10.0)
+    cache.add((1, 2), now=0.0)
+    assert cache.filter_route([1, 2, 3], now=1.0) == [1]
+
+
+def test_purge_removes_expired_entries():
+    cache = NegativeCache(timeout=10.0)
+    cache.add((1, 2), now=0.0)
+    cache.add((3, 4), now=5.0)
+    assert cache.purge(now=12.0) == 1
+    assert len(cache) == 1
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        NegativeCache(capacity=0)
+    with pytest.raises(ValueError):
+        NegativeCache(timeout=0.0)

@@ -1,0 +1,126 @@
+"""Tests for route-reply storm prevention (DSR draft 3.5.3 extension)."""
+
+from repro.core.config import DsrConfig
+from repro.core.messages import RouteReply, RouteRequest
+from repro.net.addresses import BROADCAST
+from repro.net.packet import Packet, PacketKind
+
+from tests.helpers import make_agent
+
+
+def _rreq(origin, target, request_id=1, record=None, ttl=10):
+    return Packet(
+        kind=PacketKind.RREQ,
+        src=origin,
+        dst=BROADCAST,
+        uid=origin * 1000 + request_id,
+        ttl=ttl,
+        info=RouteRequest(
+            origin=origin, target=target, request_id=request_id, record=record or [origin]
+        ),
+    )
+
+
+def _overheard_reply(origin, route, request_id=1):
+    """A reply from another cache holder, as snooped off the air."""
+    replier = route[1] if len(route) > 1 else route[0]
+    back = list(reversed(route[: route.index(replier) + 1])) if replier in route else [replier, origin]
+    return Packet(
+        kind=PacketKind.RREP,
+        src=replier,
+        dst=origin,
+        uid=777,
+        source_route=[replier, origin],
+        route_index=1,
+        info=RouteReply(route=list(route), request_id=request_id),
+    )
+
+
+def _config():
+    return DsrConfig(reply_storm_prevention=True)
+
+
+def test_cache_reply_is_delayed_by_route_length():
+    agent, node, sim = make_agent(3, dsr=_config())
+    agent.cache.add([3, 7, 8, 9], now=0.0)  # 5-node reply route once joined
+    agent.handle_packet(_rreq(0, 9, record=[0]))
+    # Not sent instantly:
+    assert [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP] == []
+    sim.run(until=0.05)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert len(replies) == 1
+
+
+def test_shorter_overheard_reply_suppresses_ours():
+    agent, node, sim = make_agent(3, dsr=_config())
+    agent.cache.add([3, 7, 8, 9], now=0.0)
+    agent.handle_packet(_rreq(0, 9, record=[0]))
+    # Before our delayed reply fires, we overhear a 3-node reply route.
+    agent.handle_promiscuous(_overheard_reply(0, [0, 5, 9]))
+    sim.run(until=0.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert replies == []
+
+
+def test_longer_overheard_reply_does_not_suppress():
+    agent, node, sim = make_agent(3, dsr=_config())
+    agent.cache.add([3, 9], now=0.0)  # we hold a 3-node total route (0,3,9)
+    agent.handle_packet(_rreq(0, 9, record=[0]))
+    agent.handle_promiscuous(_overheard_reply(0, [0, 5, 6, 7, 9]))
+    sim.run(until=0.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert len(replies) == 1
+
+
+def test_unrelated_reply_does_not_suppress():
+    agent, node, sim = make_agent(3, dsr=_config())
+    agent.cache.add([3, 7, 9], now=0.0)
+    agent.handle_packet(_rreq(0, 9, record=[0]))
+    # Same origin but a different request id: ours must still go out.
+    agent.handle_promiscuous(_overheard_reply(0, [0, 5, 9], request_id=42))
+    sim.run(until=0.1)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert len(replies) == 1
+
+
+def test_target_replies_are_never_delayed_or_suppressed():
+    agent, node, sim = make_agent(9, dsr=_config())
+    agent.handle_packet(_rreq(0, 9, record=[0, 4]))
+    sim.run(until=agent.config.reply_jitter + 0.001)
+    replies = [p for p, _ in node.mac.sent if p.kind is PacketKind.RREP]
+    assert len(replies) == 1  # the destination answers promptly regardless
+
+
+def test_storm_prevention_off_by_default():
+    agent, node, sim = make_agent(3)
+    assert not agent.config.reply_storm_prevention
+
+
+def test_storm_reduction_end_to_end():
+    """A hub of cache holders: with storm prevention, fewer total replies
+    reach the requester."""
+    from repro.traffic.cbr import CbrSource
+    from tests.helpers import build_static_net
+
+    def run(dsr):
+        # 6 nodes clustered around a source; all overhear a first exchange
+        # and cache routes to node 5, then node 4 asks for node 5.
+        positions = [
+            (0.0, 0.0),
+            (100.0, 50.0),
+            (100.0, -50.0),
+            (150.0, 0.0),
+            (50.0, 0.0),
+            (220.0, 0.0),
+        ]
+        net = build_static_net(positions, dsr=dsr)
+        CbrSource(net.sim, net.nodes[0], dst=5, rate=2.0, start=0.0, stop=2.0)
+        CbrSource(net.sim, net.nodes[4], dst=5, rate=2.0, start=3.0, stop=4.0)
+        net.sim.run(until=6.0)
+        return len(net.records("dsr.reply_sent")), len(net.records("dsr.reply_suppressed"))
+
+    base_replies, base_suppressed = run(DsrConfig.base())
+    rsp_replies, rsp_suppressed = run(_config())
+    assert base_suppressed == 0
+    assert rsp_replies + rsp_suppressed >= rsp_replies  # sanity
+    assert rsp_replies <= base_replies

@@ -1,0 +1,62 @@
+"""Unit tests for duplicate-suppression tables."""
+
+import pytest
+
+from repro.core.request_table import RequestTable, SeenTable
+
+
+def test_seen_after_insert():
+    table = SeenTable()
+    assert not table.seen(("a", 1), now=0.0)
+    table.insert(("a", 1), now=0.0)
+    assert table.seen(("a", 1), now=0.0)
+
+
+def test_lifetime_expiry():
+    table = SeenTable(lifetime=10.0)
+    table.insert("k", now=0.0)
+    assert table.seen("k", now=10.0)
+    assert not table.seen("k", now=10.1)
+
+
+def test_no_lifetime_means_forever():
+    table = SeenTable(lifetime=None)
+    table.insert("k", now=0.0)
+    assert table.seen("k", now=1e9)
+
+
+def test_capacity_fifo_eviction():
+    table = SeenTable(capacity=2)
+    table.insert("a", 0.0)
+    table.insert("b", 0.0)
+    table.insert("c", 0.0)
+    assert not table.seen("a", 0.0)
+    assert table.seen("b", 0.0)
+    assert table.seen("c", 0.0)
+
+
+def test_check_and_insert():
+    table = SeenTable()
+    assert table.check_and_insert("x", 0.0)
+    assert not table.check_and_insert("x", 0.0)
+
+
+def test_reinsert_refreshes_timestamp():
+    table = SeenTable(lifetime=10.0)
+    table.insert("k", now=0.0)
+    table.insert("k", now=8.0)
+    assert table.seen("k", now=15.0)
+
+
+def test_request_table_defaults():
+    table = RequestTable()
+    table.insert((3, 7), now=0.0)
+    assert table.seen((3, 7), now=29.0)
+    assert not table.seen((3, 7), now=31.0)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SeenTable(capacity=0)
+    with pytest.raises(ValueError):
+        SeenTable(lifetime=0.0)

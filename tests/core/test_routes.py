@@ -1,0 +1,63 @@
+"""Unit tests for source-route utilities."""
+
+import pytest
+
+from repro.core.routes import (
+    concatenate_routes,
+    contains_link,
+    is_valid_route,
+    route_links,
+    truncate_at_link,
+    validate_route,
+)
+from repro.errors import RoutingError
+
+
+def test_route_links_in_order():
+    assert list(route_links([1, 2, 3, 4])) == [(1, 2), (2, 3), (3, 4)]
+    assert list(route_links([7])) == []
+
+
+def test_contains_link_is_directional():
+    assert contains_link([1, 2, 3], (2, 3))
+    assert not contains_link([1, 2, 3], (3, 2))
+    assert not contains_link([1, 2, 3], (1, 3))
+
+
+def test_validate_route_rejects_loops_and_short_routes():
+    validate_route([1, 2])
+    with pytest.raises(RoutingError):
+        validate_route([1])
+    with pytest.raises(RoutingError):
+        validate_route([1, 2, 1])
+    assert is_valid_route([3, 4, 5])
+    assert not is_valid_route([3, 4, 3])
+    assert not is_valid_route([3])
+
+
+def test_truncate_at_link_keeps_prefix():
+    assert truncate_at_link([1, 2, 3, 4], (2, 3)) == [1, 2]
+    assert truncate_at_link([1, 2, 3, 4], (3, 4)) == [1, 2, 3]
+
+
+def test_truncate_at_first_link_degenerates():
+    assert truncate_at_link([1, 2, 3], (1, 2)) is None
+
+
+def test_truncate_missing_link_returns_route_unchanged():
+    assert truncate_at_link([1, 2, 3], (5, 6)) == [1, 2, 3]
+
+
+def test_concatenate_routes_happy_path():
+    assert concatenate_routes([1, 2, 3], [3, 4, 5]) == [1, 2, 3, 4, 5]
+
+
+def test_concatenate_routes_detects_loop():
+    assert concatenate_routes([1, 2, 3], [3, 2, 9]) is None
+
+
+def test_concatenate_routes_requires_junction():
+    with pytest.raises(RoutingError):
+        concatenate_routes([1, 2], [3, 4])
+    with pytest.raises(RoutingError):
+        concatenate_routes([], [3, 4])

@@ -1,0 +1,93 @@
+"""Round-trip tests for the DSR wire encoding."""
+
+import pytest
+
+from repro.core.messages import RouteError, RouteReply, RouteRequest
+from repro.core.wire import (
+    decode_route_error,
+    decode_route_reply,
+    decode_route_request,
+    decode_source_route,
+    encode_route_error,
+    encode_route_reply,
+    encode_route_request,
+    encode_source_route,
+)
+from repro.errors import RoutingError
+
+
+def test_source_route_roundtrip():
+    blob = encode_source_route([10, 20, 30, 40], segments_left=2)
+    route, segments_left, rest = decode_source_route(blob)
+    assert route == [10, 20, 30, 40]
+    assert segments_left == 2
+    assert rest == b""
+
+
+def test_source_route_size_is_4_bytes_per_hop_plus_4():
+    two = encode_source_route([1, 2], segments_left=1)
+    five = encode_source_route([1, 2, 3, 4, 5], segments_left=1)
+    assert len(five) - len(two) == 12
+    assert len(two) == 2 + 2 + 8  # option hdr + flags/segs + 2 addresses
+
+
+def test_route_request_roundtrip():
+    original = RouteRequest(origin=7, target=42, request_id=999, record=[7, 8, 9])
+    decoded, rest = decode_route_request(encode_route_request(original))
+    assert decoded == original
+    assert rest == b""
+
+
+def test_route_reply_roundtrip_plain():
+    original = RouteReply(route=[1, 2, 3], request_id=17, from_cache=True)
+    decoded, _ = decode_route_reply(encode_route_reply(original))
+    assert decoded == original
+
+
+def test_route_reply_roundtrip_with_freshness_tag():
+    original = RouteReply(
+        route=[1, 2, 3], request_id=17, gratuitous=True, generated_at=123.456
+    )
+    decoded, _ = decode_route_reply(encode_route_reply(original))
+    assert decoded.gratuitous
+    assert decoded.generated_at == pytest.approx(123.456, abs=0.01)
+    assert decoded.route == original.route
+
+
+def test_route_error_roundtrip():
+    original = RouteError(link=(5, 9), detector=5, error_id=3)
+    decoded, _ = decode_route_error(encode_route_error(original))
+    assert decoded.link == (5, 9)
+    assert decoded.detector == 5
+    assert decoded.error_id == 3
+
+
+def test_options_concatenate_like_a_real_header_block():
+    """Gratuitous repair = route error piggybacked before the request."""
+    error_blob = encode_route_error(RouteError(link=(1, 2), detector=1, error_id=9))
+    request_blob = encode_route_request(
+        RouteRequest(origin=0, target=5, request_id=1, record=[0])
+    )
+    block = error_blob + request_blob
+    error, rest = decode_route_error(block)
+    request, rest = decode_route_request(rest)
+    assert error.link == (1, 2)
+    assert request.target == 5
+    assert rest == b""
+
+
+def test_decode_rejects_wrong_option_type():
+    blob = encode_route_request(RouteRequest(origin=0, target=5, request_id=1, record=[0]))
+    with pytest.raises(RoutingError):
+        decode_route_reply(blob)
+
+
+def test_decode_rejects_truncation():
+    blob = encode_source_route([1, 2, 3], segments_left=1)
+    with pytest.raises(RoutingError):
+        decode_source_route(blob[:-3])
+
+
+def test_segments_left_validation():
+    with pytest.raises(RoutingError):
+        encode_source_route([1, 2], segments_left=5)

@@ -1,0 +1,24 @@
+"""Determinism: a scenario seed fully fixes the simulation outcome."""
+
+from repro.core.config import DsrConfig
+from repro.scenarios.builder import run_scenario
+from repro.scenarios.presets import tiny_scenario
+
+
+def test_same_seed_same_result():
+    first = run_scenario(tiny_scenario(seed=11))
+    second = run_scenario(tiny_scenario(seed=11))
+    assert first == second  # SimulationResult is a frozen dataclass
+
+
+def test_different_seed_different_mobility_outcome():
+    first = run_scenario(tiny_scenario(seed=11))
+    second = run_scenario(tiny_scenario(seed=12))
+    assert first != second
+
+
+def test_protocol_change_preserves_offered_traffic():
+    """Variants must face the same workload: same packets originated."""
+    base = run_scenario(tiny_scenario(dsr=DsrConfig.base(), seed=11))
+    best = run_scenario(tiny_scenario(dsr=DsrConfig.all_techniques(), seed=11))
+    assert base.data_sent == best.data_sent

@@ -1,0 +1,37 @@
+"""Integration tests: the paper's protocol variants end to end."""
+
+import pytest
+
+from repro.core.config import PAPER_VARIANTS, DsrConfig
+from repro.scenarios.builder import run_scenario
+from repro.scenarios.presets import tiny_scenario
+
+
+@pytest.mark.parametrize("name", sorted(PAPER_VARIANTS))
+def test_every_paper_variant_runs_and_delivers(name):
+    result = run_scenario(tiny_scenario(dsr=PAPER_VARIANTS[name], seed=2))
+    assert result.data_sent > 0
+    assert result.packet_delivery_fraction > 0.5  # a tiny static-ish net
+    assert result.data_received <= result.data_sent
+
+
+def test_all_techniques_not_worse_than_base_on_mobile_scenario():
+    """Directional sanity at small scale: the combined techniques should
+    not hurt delivery (the paper's central claim, writ small)."""
+    base = run_scenario(tiny_scenario(dsr=DsrConfig.base(), seed=3))
+    best = run_scenario(tiny_scenario(dsr=DsrConfig.all_techniques(), seed=3))
+    assert best.packet_delivery_fraction >= base.packet_delivery_fraction - 0.05
+
+
+def test_link_cache_variant_runs():
+    result = run_scenario(
+        tiny_scenario(dsr=DsrConfig(use_link_cache=True), seed=4)
+    )
+    assert result.packet_delivery_fraction > 0.5
+
+
+def test_static_timeout_variant_runs():
+    result = run_scenario(
+        tiny_scenario(dsr=DsrConfig.with_static_expiry(10.0), seed=4)
+    )
+    assert result.packet_delivery_fraction > 0.5

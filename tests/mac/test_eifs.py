@@ -1,0 +1,95 @@
+"""Tests for EIFS deference after corrupted receptions."""
+
+import pytest
+
+from repro.mac.timing import MacTiming
+
+from tests.mac.test_dcf import build_macs, _packet
+
+
+def test_eifs_longer_than_difs():
+    timing = MacTiming()
+    assert timing.eifs > timing.difs
+    assert timing.eifs == pytest.approx(
+        timing.sifs + timing.ack_airtime + timing.difs
+    )
+
+
+def test_corrupt_frame_sets_eifs_pending():
+    sim, macs, uppers, _ = build_macs([(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)])
+    mac = macs[1]
+    mac.timing = MacTiming(use_eifs=True)
+    assert not mac._eifs_pending
+    mac.on_corrupt_frame()
+    assert mac._eifs_pending
+
+
+def test_good_frame_clears_eifs():
+    sim, macs, uppers, _ = build_macs([(0.0, 0.0), (200.0, 0.0)])
+    mac = macs[1]
+    mac.timing = MacTiming(use_eifs=True)
+    mac.on_corrupt_frame()
+    from repro.mac.frames import Frame, FrameKind
+
+    mac.on_frame(Frame(FrameKind.DATA, src=0, dst=9, duration=0.0))
+    assert not mac._eifs_pending
+
+
+def test_eifs_disabled_ignores_corruption():
+    sim, macs, uppers, _ = build_macs([(0.0, 0.0), (200.0, 0.0)])
+    mac = macs[1]  # default timing: use_eifs=False
+    mac.on_corrupt_frame()
+    assert not mac._eifs_pending
+
+
+def test_collision_victim_defers_eifs_before_sending():
+    """Node 1 suffers a collision, then wants to transmit: its first frame
+    must leave no earlier than EIFS after the channel clears."""
+    import numpy as np
+    from repro.mac.dcf import DcfMac
+    from repro.mobility.static import StaticModel
+    from repro.phy.channel import Channel
+    from repro.phy.neighbors import NeighborCache
+    from repro.phy.propagation import DiskPropagation
+    from repro.phy.radio import Radio
+    from repro.sim.engine import Simulator
+    from repro.sim.trace import Tracer
+    from repro.mac.frames import Frame, FrameKind
+
+    records = []
+    tracer = Tracer()
+    tracer.subscribe("phy.tx", records.append)
+    sim = Simulator()
+    # 0 and 2 collide at 1; 3 is 1's unicast target.
+    mobility = StaticModel([(0.0, 0.0), (200.0, 0.0), (400.0, 0.0), (200.0, 150.0)])
+    neighbors = NeighborCache(mobility, DiskPropagation())
+    channel = Channel(sim, neighbors, tracer=tracer)
+    timing = MacTiming(use_eifs=True)
+    macs = {}
+    for node_id in range(4):
+        radio = Radio(node_id, channel)
+        macs[node_id] = DcfMac(
+            node_id, sim, radio, rng=np.random.default_rng(node_id + 5), timing=timing
+        )
+    # Simultaneous raw transmissions from 0 and 2 corrupt each other at 1.
+    raw = Frame(FrameKind.DATA, 0, 1)
+    sim.schedule(0.0, macs[0]._radio.transmit, raw, 0.002)
+    sim.schedule(0.0005, macs[2]._radio.transmit, Frame(FrameKind.DATA, 2, 1), 0.002)
+    collision_end = 0.0005 + 0.002
+    macs[1].enqueue(_packet(1, 3, uid=1), 3)
+    sim.run(until=1.0)
+    tx_by_1 = [r for r in records if r.fields["sender"] == 1]
+    assert tx_by_1, "node 1 never transmitted"
+    # First transmission strictly after collision end + EIFS.
+    assert tx_by_1[0].time >= collision_end + timing.eifs - 1e-9
+
+
+def test_eifs_scenario_knob():
+    from repro.scenarios.builder import build_simulation
+    from repro.scenarios.presets import tiny_scenario
+
+    handle = build_simulation(tiny_scenario(seed=2).but(use_eifs=True, duration=10.0))
+    result = handle.run()
+    assert result.data_sent > 0
+    some_mac = next(iter(handle.nodes.values())).mac
+    assert some_mac.timing.use_eifs

@@ -1,0 +1,77 @@
+"""Unit tests for the priority interface queue."""
+
+import pytest
+
+from repro.mac.ifq import InterfaceQueue
+from repro.net.packet import Packet, PacketKind
+
+
+def _data(uid=1):
+    return Packet(kind=PacketKind.DATA, src=0, dst=1, uid=uid)
+
+
+def _control(uid=100):
+    return Packet(kind=PacketKind.RREQ, src=0, dst=-1, uid=uid)
+
+
+def test_fifo_within_band():
+    queue = InterfaceQueue(10)
+    queue.push(_data(1), 5)
+    queue.push(_data(2), 5)
+    assert queue.pop().packet.uid == 1
+    assert queue.pop().packet.uid == 2
+    assert queue.pop() is None
+
+
+def test_control_has_priority_over_data():
+    queue = InterfaceQueue(10)
+    queue.push(_data(1), 5)
+    queue.push(_control(2), -1)
+    assert queue.pop().packet.uid == 2
+    assert queue.pop().packet.uid == 1
+
+
+def test_capacity_drop_tail_for_data():
+    queue = InterfaceQueue(2)
+    assert queue.push(_data(1), 5)
+    assert queue.push(_data(2), 5)
+    assert not queue.push(_data(3), 5)
+    assert queue.drops == 1
+    assert len(queue) == 2
+
+
+def test_control_evicts_youngest_data_when_full():
+    queue = InterfaceQueue(2)
+    queue.push(_data(1), 5)
+    queue.push(_data(2), 5)
+    assert queue.push(_control(3), -1)
+    assert queue.drops == 1
+    assert queue.pop().packet.uid == 3
+    assert queue.pop().packet.uid == 1  # uid 2 was sacrificed
+    assert queue.pop() is None
+
+
+def test_control_dropped_when_full_of_control():
+    queue = InterfaceQueue(2)
+    queue.push(_control(1), -1)
+    queue.push(_control(2), -1)
+    assert not queue.push(_control(3), -1)
+    assert queue.drops == 1
+
+
+def test_peek_does_not_remove():
+    queue = InterfaceQueue(5)
+    queue.push(_data(1), 5)
+    assert queue.peek().packet.uid == 1
+    assert len(queue) == 1
+
+
+def test_next_hop_preserved():
+    queue = InterfaceQueue(5)
+    queue.push(_data(1), 42)
+    assert queue.pop().next_hop == 42
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        InterfaceQueue(0)

@@ -1,0 +1,55 @@
+"""Unit tests for MAC timing constants."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mac.timing import MacTiming
+
+
+def test_difs_derivation():
+    timing = MacTiming()
+    assert timing.difs == pytest.approx(timing.sifs + 2 * timing.slot)
+    assert timing.difs == pytest.approx(50e-6)
+
+
+def test_airtime_scales_with_size():
+    timing = MacTiming()
+    small = timing.airtime(100)
+    large = timing.airtime(200)
+    assert large - small == pytest.approx(100 * 8 / 2e6)
+    assert small > timing.plcp  # PLCP preamble always included
+
+
+def test_data_airtime_includes_mac_header():
+    timing = MacTiming()
+    assert timing.data_airtime(512) == timing.airtime(512 + timing.mac_header_bytes)
+
+
+def test_control_frame_airtimes_ordered():
+    timing = MacTiming()
+    assert timing.cts_airtime == timing.ack_airtime  # both 14 bytes
+    assert timing.rts_airtime > timing.cts_airtime
+
+
+def test_timeouts_cover_response():
+    timing = MacTiming()
+    assert timing.cts_timeout > timing.sifs + timing.cts_airtime
+    assert timing.ack_timeout > timing.sifs + timing.ack_airtime
+
+
+def test_512_byte_packet_airtime_sanity():
+    """A 512-byte CBR packet plus headers is ~2.4 ms at 2 Mb/s."""
+    timing = MacTiming()
+    airtime = timing.data_airtime(512 + 24)  # payload + typical DSR/IP header
+    assert 0.002 < airtime < 0.003
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        MacTiming(bitrate=0)
+    with pytest.raises(ConfigurationError):
+        MacTiming(cw_min=0)
+    with pytest.raises(ConfigurationError):
+        MacTiming(cw_min=63, cw_max=31)
+    with pytest.raises(ConfigurationError):
+        MacTiming(retry_limit=0)

@@ -1,0 +1,67 @@
+"""Tests for periodic cache-composition sampling."""
+
+from repro.metrics.cachestats import CacheSampler
+from repro.scenarios.builder import build_simulation
+from repro.scenarios.presets import tiny_scenario
+
+
+def _agents(handle):
+    return {node_id: node.agent for node_id, node in handle.nodes.items()}
+
+
+def test_sampler_records_snapshots():
+    handle = build_simulation(tiny_scenario(seed=5).but(duration=20.0))
+    from repro.metrics.groundtruth import make_validity_oracle
+
+    oracle = make_validity_oracle(handle.sim, handle.neighbors)
+    sampler = CacheSampler(handle.sim, _agents(handle), oracle, period=5.0)
+    handle.run()
+    assert len(sampler.samples) == 4  # t = 5, 10, 15, 20
+    later = sampler.samples[-1]
+    assert later.total_paths > 0
+    assert 0.0 <= later.stale_fraction <= 1.0
+    assert set(later.per_node_paths) <= set(handle.nodes)
+
+
+def test_stale_fraction_series_shape():
+    handle = build_simulation(tiny_scenario(seed=5).but(duration=15.0))
+    from repro.metrics.groundtruth import make_validity_oracle
+
+    oracle = make_validity_oracle(handle.sim, handle.neighbors)
+    sampler = CacheSampler(handle.sim, _agents(handle), oracle, period=5.0)
+    handle.run()
+    series = sampler.stale_fraction_series()
+    assert [t for t, _ in series] == [5.0, 10.0, 15.0]
+
+
+def test_expiry_reduces_stale_stock():
+    """With adaptive expiry the standing fraction of dead cached routes at
+    the end of a mobile run should not exceed base DSR's."""
+    from repro.core.config import DsrConfig
+    from repro.metrics.groundtruth import make_validity_oracle
+
+    fractions = {}
+    for name, dsr in (
+        ("base", DsrConfig.base()),
+        ("expiry", DsrConfig.with_adaptive_expiry()),
+    ):
+        handle = build_simulation(
+            tiny_scenario(seed=6, dsr=dsr).but(duration=30.0)
+        )
+        oracle = make_validity_oracle(handle.sim, handle.neighbors)
+        sampler = CacheSampler(handle.sim, _agents(handle), oracle, period=10.0)
+        handle.run()
+        fractions[name] = sampler.samples[-1].stale_fraction
+    assert fractions["expiry"] <= fractions["base"] + 0.05
+
+
+def test_sampler_stop():
+    handle = build_simulation(tiny_scenario(seed=5).but(duration=12.0))
+    from repro.metrics.groundtruth import make_validity_oracle
+
+    oracle = make_validity_oracle(handle.sim, handle.neighbors)
+    sampler = CacheSampler(handle.sim, _agents(handle), oracle, period=2.0)
+    handle.sim.run(until=5.0)
+    sampler.stop()
+    handle.sim.run(until=12.0)
+    assert all(sample.time <= 5.0 for sample in sampler.samples)

@@ -1,0 +1,34 @@
+"""Unit tests for the ground-truth validity oracle."""
+
+from repro.metrics.groundtruth import make_validity_oracle
+from repro.mobility.base import MobilityModel
+from repro.mobility.static import StaticModel
+from repro.mobility.trajectory import Segment, Trajectory
+from repro.phy.neighbors import NeighborCache
+from repro.phy.propagation import DiskPropagation
+from repro.sim.engine import Simulator
+
+
+def test_oracle_checks_every_hop():
+    mobility = StaticModel([(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)])
+    neighbors = NeighborCache(mobility, DiskPropagation())
+    sim = Simulator()
+    oracle = make_validity_oracle(sim, neighbors)
+    assert oracle([0, 1, 2])
+    assert not oracle([0, 2])
+    assert oracle([1])
+
+
+def test_oracle_tracks_simulation_time():
+    trajectories = {
+        0: Trajectory.stationary(0.0, 0.0),
+        1: Trajectory([Segment(t0=0.0, x0=200.0, y0=0.0, vx=100.0, vy=0.0)]),
+    }
+    mobility = MobilityModel(trajectories)
+    neighbors = NeighborCache(mobility, DiskPropagation())
+    sim = Simulator()
+    oracle = make_validity_oracle(sim, neighbors)
+    assert oracle([0, 1])  # 200 m apart at t=0
+    sim.schedule(2.0, lambda: None)
+    sim.run()
+    assert not oracle([0, 1])  # 400 m apart at t=2

@@ -1,0 +1,65 @@
+"""Tests for per-node metric breakdowns."""
+
+from repro.metrics.pernode import PerNodeCollector
+from repro.sim.trace import Tracer
+
+
+def test_counters_routed_to_correct_node():
+    tracer = Tracer()
+    collector = PerNodeCollector(tracer)
+    tracer.emit(0.0, "app.send", src=1, dst=2, uid=10)
+    tracer.emit(0.1, "app.recv", src=1, dst=2, uid=10, born=0.0)
+    tracer.emit(0.0, "mac.tx", node=1, frame_kind="rts", dst=3, pkt_kind=None)
+    tracer.emit(0.0, "mac.tx", node=1, frame_kind="data", dst=3, pkt_kind="data")
+    tracer.emit(0.0, "mac.tx", node=3, frame_kind="data", dst=2, pkt_kind="rreq")
+    tracer.emit(0.0, "dsr.link_break", node=3, link=(3, 2), pkt_kind="data")
+    tracer.emit(0.0, "dsr.drop", node=3, reason="no-route-to-salvage", pkt_kind="data", uid=9, src=1, dst=2)
+
+    one = collector.node(1)
+    assert one.data_originated == 1
+    assert one.frames_sent == 2
+    assert one.control_frames_sent == 1
+    assert one.data_packets_sent == 1
+
+    three = collector.node(3)
+    assert three.routing_packets_sent == 1
+    assert three.link_breaks == 1
+    assert three.drops["no-route-to-salvage"] == 1
+    assert collector.node(2).data_delivered == 1
+
+
+def test_hotspots_ranking():
+    tracer = Tracer()
+    collector = PerNodeCollector(tracer)
+    for _ in range(5):
+        tracer.emit(0.0, "mac.tx", node=7, frame_kind="data", dst=1, pkt_kind="data")
+    tracer.emit(0.0, "mac.tx", node=2, frame_kind="data", dst=1, pkt_kind="data")
+    top = collector.hotspots("frames_sent", top=2)
+    assert top[0] == (7, 5)
+    assert top[1] == (2, 1)
+
+
+def test_report_renders():
+    tracer = Tracer()
+    collector = PerNodeCollector(tracer)
+    tracer.emit(0.0, "mac.tx", node=4, frame_kind="data", dst=1, pkt_kind="data")
+    report = collector.format_report()
+    assert "node" in report and "4" in report
+
+
+def test_full_simulation_per_node_accounting():
+    from repro.scenarios.builder import build_simulation
+    from repro.scenarios.presets import tiny_scenario
+
+    handle = build_simulation(tiny_scenario(seed=5).but(duration=15.0))
+    collector = PerNodeCollector(handle.tracer)
+    result = handle.run()
+    totals = collector.nodes()
+    assert sum(stats.data_originated for stats in totals.values()) == result.data_sent
+    assert sum(stats.data_delivered for stats in totals.values()) == (
+        result.data_received + result.duplicate_deliveries
+    )
+    assert (
+        sum(stats.control_frames_sent for stats in totals.values())
+        == result.mac_control_tx
+    )

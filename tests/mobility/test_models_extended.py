@@ -1,0 +1,157 @@
+"""Unit tests for the Gauss-Markov and RPGM mobility extensions."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.gauss_markov import GaussMarkovModel
+from repro.mobility.rpgm import ReferencePointGroupModel
+
+
+def _gm(seed=3, alpha=0.85, num_nodes=6):
+    return GaussMarkovModel(
+        num_nodes=num_nodes,
+        width=800.0,
+        height=400.0,
+        duration=60.0,
+        rng=np.random.default_rng(seed),
+        alpha=alpha,
+    )
+
+
+def test_gauss_markov_positions_inside_field():
+    model = _gm()
+    for node_id in model.node_ids:
+        for t in np.linspace(0.0, 60.0, 121):
+            x, y = model.position(node_id, float(t))
+            assert -1e-6 <= x <= 800.0 + 1e-6
+            assert -1e-6 <= y <= 400.0 + 1e-6
+
+
+def test_gauss_markov_reproducible():
+    a, b = _gm(seed=4), _gm(seed=4)
+    assert a.position(2, 31.5) == b.position(2, 31.5)
+
+
+def test_gauss_markov_nodes_move():
+    model = _gm()
+    for node_id in model.node_ids:
+        assert model.position(node_id, 0.0) != model.position(node_id, 30.0)
+
+
+def test_gauss_markov_smoothness_increases_with_alpha():
+    """Higher memory -> straighter paths -> fewer sharp heading changes.
+
+    Measured as the mean absolute turn angle between consecutive steps.
+    """
+
+    def mean_turn(model):
+        import math
+
+        turns = []
+        for node_id in model.node_ids:
+            prev_heading = None
+            for t in range(0, 59):
+                x0, y0 = model.position(node_id, float(t))
+                x1, y1 = model.position(node_id, float(t + 1))
+                if (x1, y1) == (x0, y0):
+                    continue
+                heading = math.atan2(y1 - y0, x1 - x0)
+                if prev_heading is not None:
+                    delta = abs(
+                        (heading - prev_heading + math.pi) % (2 * math.pi) - math.pi
+                    )
+                    turns.append(delta)
+                prev_heading = heading
+        return sum(turns) / len(turns)
+
+    smooth = mean_turn(_gm(seed=5, alpha=0.95, num_nodes=10))
+    jittery = mean_turn(_gm(seed=5, alpha=0.2, num_nodes=10))
+    assert smooth < jittery
+
+
+def test_gauss_markov_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        GaussMarkovModel(0, 100, 100, 10, rng)
+    with pytest.raises(ConfigurationError):
+        GaussMarkovModel(3, 100, 100, 10, rng, alpha=1.5)
+    with pytest.raises(ConfigurationError):
+        GaussMarkovModel(3, 100, 100, 10, rng, mean_speed=0.0)
+
+
+def _rpgm(seed=3, groups=3, num_nodes=12, radius=80.0, deviation=20.0):
+    return ReferencePointGroupModel(
+        num_nodes=num_nodes,
+        width=1000.0,
+        height=500.0,
+        duration=60.0,
+        rng=np.random.default_rng(seed),
+        num_groups=groups,
+        group_radius=radius,
+        deviation=deviation,
+    )
+
+
+def test_rpgm_positions_inside_field():
+    model = _rpgm()
+    for node_id in model.node_ids:
+        for t in np.linspace(0.0, 60.0, 61):
+            x, y = model.position(node_id, float(t))
+            assert -1e-6 <= x <= 1000.0 + 1e-6
+            assert -1e-6 <= y <= 500.0 + 1e-6
+
+
+def test_rpgm_group_members_stay_together():
+    """Intra-group distances stay bounded by the group geometry; the same
+    bound does NOT hold across groups (they roam independently)."""
+    model = _rpgm()
+    bound = 2 * (80.0 + 20.0) + 1.0
+    same_group = [
+        (a, b)
+        for a in model.node_ids
+        for b in model.node_ids
+        if a < b and model.group_of[a] == model.group_of[b]
+    ]
+    for t in np.linspace(0.0, 60.0, 31):
+        for a, b in same_group:
+            assert model.distance(a, b, float(t)) <= bound
+
+
+def test_rpgm_groups_roam_apart_sometimes():
+    model = _rpgm()
+    cross = [
+        (a, b)
+        for a in model.node_ids
+        for b in model.node_ids
+        if a < b and model.group_of[a] != model.group_of[b]
+    ]
+    max_separation = max(
+        model.distance(a, b, float(t))
+        for t in np.linspace(0.0, 60.0, 31)
+        for a, b in cross
+    )
+    assert max_separation > 300.0
+
+
+def test_rpgm_reproducible():
+    a, b = _rpgm(seed=9), _rpgm(seed=9)
+    assert a.position(5, 44.0) == b.position(5, 44.0)
+
+
+def test_rpgm_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        ReferencePointGroupModel(4, 100, 100, 10, rng, num_groups=5)
+    with pytest.raises(ConfigurationError):
+        ReferencePointGroupModel(4, 100, 100, 10, rng, group_radius=0.0)
+
+
+def test_builder_supports_all_mobility_models():
+    from repro.scenarios.builder import run_scenario
+    from repro.scenarios.presets import tiny_scenario
+
+    for model in ("waypoint", "gauss_markov", "rpgm"):
+        config = tiny_scenario(seed=2).but(mobility_model=model, duration=20.0)
+        result = run_scenario(config)
+        assert result.data_sent > 0

@@ -1,0 +1,54 @@
+"""Unit tests for piecewise-linear trajectories."""
+
+import pytest
+
+from repro.mobility.trajectory import Segment, Trajectory
+
+
+def test_stationary_trajectory():
+    trajectory = Trajectory.stationary(10.0, 20.0)
+    assert trajectory.position(0.0) == (10.0, 20.0)
+    assert trajectory.position(1000.0) == (10.0, 20.0)
+
+
+def test_single_moving_segment():
+    trajectory = Trajectory([Segment(t0=0.0, x0=0.0, y0=0.0, vx=2.0, vy=1.0)])
+    assert trajectory.position(3.0) == (6.0, 3.0)
+
+
+def test_position_before_first_segment_is_its_start():
+    trajectory = Trajectory([Segment(t0=5.0, x0=1.0, y0=2.0, vx=1.0, vy=0.0)])
+    assert trajectory.position(0.0) == (1.0, 2.0)
+    assert trajectory.position(5.0) == (1.0, 2.0)
+
+
+def test_segment_handoff():
+    trajectory = Trajectory(
+        [
+            Segment(t0=0.0, x0=0.0, y0=0.0, vx=1.0, vy=0.0),
+            Segment(t0=10.0, x0=10.0, y0=0.0, vx=0.0, vy=2.0),
+        ]
+    )
+    assert trajectory.position(9.0) == (9.0, 0.0)
+    x, y = trajectory.position(12.0)
+    assert (x, y) == (10.0, 4.0)
+
+
+def test_segments_must_be_time_ordered():
+    with pytest.raises(ValueError):
+        Trajectory(
+            [
+                Segment(t0=5.0, x0=0.0, y0=0.0, vx=0.0, vy=0.0),
+                Segment(t0=1.0, x0=0.0, y0=0.0, vx=0.0, vy=0.0),
+            ]
+        )
+
+
+def test_empty_trajectory_rejected():
+    with pytest.raises(ValueError):
+        Trajectory([])
+
+
+def test_segment_position_formula():
+    segment = Segment(t0=2.0, x0=1.0, y0=1.0, vx=-1.0, vy=0.5)
+    assert segment.position(4.0) == (-1.0, 2.0)

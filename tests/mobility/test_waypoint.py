@@ -1,0 +1,98 @@
+"""Unit tests for the random waypoint model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.waypoint import RandomWaypointModel
+
+
+def _model(pause=0.0, seed=3, num_nodes=10, duration=100.0):
+    return RandomWaypointModel(
+        num_nodes=num_nodes,
+        width=1000.0,
+        height=300.0,
+        duration=duration,
+        rng=np.random.default_rng(seed),
+        pause_time=pause,
+    )
+
+
+def test_positions_stay_inside_field():
+    model = _model()
+    for node_id in model.node_ids:
+        for t in np.linspace(0.0, 100.0, 101):
+            x, y = model.position(node_id, float(t))
+            assert -1e-6 <= x <= 1000.0 + 1e-6
+            assert -1e-6 <= y <= 300.0 + 1e-6
+
+
+def test_speed_never_exceeds_max():
+    model = _model()
+    dt = 0.5
+    for node_id in model.node_ids:
+        for t in np.arange(0.0, 99.0, dt):
+            x0, y0 = model.position(node_id, float(t))
+            x1, y1 = model.position(node_id, float(t + dt))
+            speed = ((x1 - x0) ** 2 + (y1 - y0) ** 2) ** 0.5 / dt
+            assert speed <= 20.0 + 1e-6
+
+
+def test_same_seed_reproduces_trajectories():
+    a = _model(seed=11)
+    b = _model(seed=11)
+    for node_id in a.node_ids:
+        assert a.position(node_id, 33.3) == b.position(node_id, 33.3)
+
+
+def test_different_seeds_differ():
+    a = _model(seed=1)
+    b = _model(seed=2)
+    assert any(
+        a.position(node_id, 50.0) != b.position(node_id, 50.0)
+        for node_id in a.node_ids
+    )
+
+
+def test_nodes_actually_move_with_zero_pause():
+    model = _model(pause=0.0)
+    moved = 0
+    for node_id in model.node_ids:
+        if model.position(node_id, 0.0) != model.position(node_id, 50.0):
+            moved += 1
+    assert moved == len(model.node_ids)
+
+
+def test_large_pause_keeps_nodes_mostly_still():
+    """Pause >= duration approximates a static network (the paper's
+    pause-500 point): after reaching the first waypoint a node rests for
+    the remainder of the run."""
+    model = _model(pause=1000.0, duration=100.0)
+    for node_id in model.node_ids:
+        # Between two late instants, any movement means the node is still on
+        # its first leg; once paused it must not move again before t=100+.
+        p1 = model.position(node_id, 98.0)
+        p2 = model.position(node_id, 99.0)
+        p3 = model.position(node_id, 100.0)
+        if p1 == p2:
+            assert p2 == p3
+
+
+def test_distance_helper():
+    model = _model()
+    d = model.distance(0, 1, 10.0)
+    x0, y0 = model.position(0, 10.0)
+    x1, y1 = model.position(1, 10.0)
+    assert d == pytest.approx(((x0 - x1) ** 2 + (y0 - y1) ** 2) ** 0.5)
+
+
+def test_invalid_parameters_rejected():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        RandomWaypointModel(0, 100.0, 100.0, 10.0, rng)
+    with pytest.raises(ConfigurationError):
+        RandomWaypointModel(5, -1.0, 100.0, 10.0, rng)
+    with pytest.raises(ConfigurationError):
+        RandomWaypointModel(5, 100.0, 100.0, 10.0, rng, min_speed=0.0)
+    with pytest.raises(ConfigurationError):
+        RandomWaypointModel(5, 100.0, 100.0, 10.0, rng, pause_time=-1.0)

@@ -1,0 +1,44 @@
+"""Unit tests for node stack wiring."""
+
+from repro.net.packet import PacketKind
+
+from tests.helpers import build_static_net
+
+
+def test_uids_unique_across_nodes():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0), (400.0, 0.0)])
+    uids = set()
+    for node in net.nodes.values():
+        for _ in range(100):
+            uid = node.next_uid()
+            assert uid not in uids
+            uids.add(uid)
+
+
+def test_send_data_emits_trace_and_packet():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    packet = net.nodes[0].send_data(1, 512)
+    assert packet.kind is PacketKind.DATA
+    assert packet.src == 0 and packet.dst == 1
+    assert packet.payload_bytes == 512
+    sends = net.records("app.send")
+    assert len(sends) == 1
+    assert sends[0].fields["uid"] == packet.uid
+
+
+def test_mac_callbacks_wired_to_agent():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    node = net.nodes[0]
+    assert node.mac.deliver == node.agent.handle_packet
+    assert node.mac.promiscuous == node.agent.handle_promiscuous
+    assert node.mac.on_unicast_failure == node.agent.handle_unicast_failure
+
+
+def test_app_receive_hook_called_on_delivery():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    received = []
+    net.nodes[1].app_receive = received.append
+    net.nodes[0].send_data(1, 100)
+    net.sim.run(until=2.0)
+    assert len(received) == 1
+    assert received[0].src == 0

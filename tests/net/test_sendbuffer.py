@@ -1,0 +1,72 @@
+"""Unit tests for the DSR send buffer."""
+
+import pytest
+
+from repro.net.packet import Packet, PacketKind
+from repro.net.sendbuffer import SendBuffer
+
+
+def _packet(uid, dst=5):
+    return Packet(kind=PacketKind.DATA, src=0, dst=dst, uid=uid)
+
+
+def test_add_and_take_for_destination():
+    buffer = SendBuffer()
+    buffer.add(_packet(1, dst=5), now=0.0)
+    buffer.add(_packet(2, dst=6), now=0.0)
+    buffer.add(_packet(3, dst=5), now=1.0)
+    taken = buffer.take_for(5)
+    assert [p.uid for p in taken] == [1, 3]
+    assert len(buffer) == 1
+    assert buffer.take_for(5) == []
+
+
+def test_capacity_evicts_oldest():
+    buffer = SendBuffer(capacity=2)
+    assert buffer.add(_packet(1), 0.0) is None
+    assert buffer.add(_packet(2), 0.0) is None
+    evicted = buffer.add(_packet(3), 0.0)
+    assert evicted.uid == 1
+    assert len(buffer) == 2
+
+
+def test_expire_drops_old_packets():
+    buffer = SendBuffer(max_wait=30.0)
+    buffer.add(_packet(1), now=0.0)
+    buffer.add(_packet(2), now=20.0)
+    expired = buffer.expire(now=31.0)
+    assert [p.uid for p in expired] == [1]
+    assert len(buffer) == 1
+    assert buffer.expire(now=31.0) == []
+
+
+def test_expire_boundary_is_strict():
+    buffer = SendBuffer(max_wait=30.0)
+    buffer.add(_packet(1), now=0.0)
+    assert buffer.expire(now=30.0) == []  # exactly 30 s is still allowed
+    assert [p.uid for p in buffer.expire(now=30.01)] == [1]
+
+
+def test_destinations_and_has_packets_for():
+    buffer = SendBuffer()
+    buffer.add(_packet(1, dst=5), 0.0)
+    buffer.add(_packet(2, dst=6), 0.0)
+    buffer.add(_packet(3, dst=5), 0.0)
+    assert buffer.destinations() == [5, 6]
+    assert buffer.has_packets_for(5)
+    assert not buffer.has_packets_for(7)
+
+
+def test_drain_empties_buffer():
+    buffer = SendBuffer()
+    buffer.add(_packet(1), 0.0)
+    buffer.add(_packet(2), 0.0)
+    assert [p.uid for p in buffer.drain()] == [1, 2]
+    assert len(buffer) == 0
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SendBuffer(capacity=0)
+    with pytest.raises(ValueError):
+        SendBuffer(max_wait=0.0)

@@ -1,0 +1,90 @@
+"""Unit and integration tests for energy accounting."""
+
+import pytest
+
+from repro.phy.energy import EnergyLedger, EnergyModel
+
+
+def test_model_defaults_are_wavelan_like():
+    model = EnergyModel()
+    assert model.tx_power > model.rx_power > model.idle_power > 0
+
+
+def test_model_rejects_negative_power():
+    with pytest.raises(ValueError):
+        EnergyModel(tx_power=-1.0)
+
+
+def test_single_transmission_charges_exactly():
+    ledger = EnergyLedger(EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5))
+    ledger.charge_tx(0, 0.004)
+    ledger.charge_rx(1, 0.004)
+    # Node 0 over 1 s: 0.004*2.0 + 0.996*0.5
+    assert ledger.node_joules(0, 1.0) == pytest.approx(0.008 + 0.498)
+    # Node 1 over 1 s: 0.004*1.0 + 0.996*0.5
+    assert ledger.node_joules(1, 1.0) == pytest.approx(0.004 + 0.498)
+
+
+def test_total_includes_idle_only_nodes():
+    model = EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5)
+    ledger = EnergyLedger(model)
+    ledger.charge_tx(0, 0.01)
+    with_idlers = ledger.total_joules(10.0, num_nodes=3)
+    without = ledger.total_joules(10.0)
+    assert with_idlers - without == pytest.approx(2 * 10.0 * 0.5)
+
+
+def test_communication_energy_excludes_idle():
+    ledger = EnergyLedger(EnergyModel(tx_power=2.0, rx_power=1.0, idle_power=0.5))
+    ledger.charge_tx(0, 1.0)
+    ledger.charge_rx(1, 1.0)
+    assert ledger.communication_joules() == pytest.approx(3.0)
+
+
+def test_channel_charges_sender_and_all_hearers():
+    """One broadcast: sender pays tx; rx AND cs-only neighbours pay rx."""
+    from repro.mac.frames import Frame, FrameKind
+    from repro.mobility.static import StaticModel
+    from repro.net.addresses import BROADCAST
+    from repro.phy.channel import Channel
+    from repro.phy.neighbors import NeighborCache
+    from repro.phy.propagation import DiskPropagation
+    from repro.phy.radio import Radio
+    from repro.sim.engine import Simulator
+
+    sim = Simulator()
+    mobility = StaticModel([(0.0, 0.0), (200.0, 0.0), (400.0, 0.0), (900.0, 0.0)])
+    neighbors = NeighborCache(mobility, DiskPropagation(rx_range=250.0, cs_range=550.0))
+    ledger = EnergyLedger()
+    channel = Channel(sim, neighbors, energy=ledger)
+    radios = {i: Radio(i, channel) for i in range(4)}
+    radios[0].transmit(Frame(FrameKind.DATA, 0, BROADCAST), 0.002)
+    sim.run()
+    assert ledger.tx_time(0) == pytest.approx(0.002)
+    assert ledger.rx_time(1) == pytest.approx(0.002)  # decodes
+    assert ledger.rx_time(2) == pytest.approx(0.002)  # senses only — still burns
+    assert ledger.rx_time(3) == 0.0  # out of carrier-sense range
+
+
+def test_scenario_energy_tracking():
+    from repro.scenarios.builder import build_simulation
+    from repro.scenarios.presets import tiny_scenario
+
+    handle = build_simulation(tiny_scenario(seed=3).but(track_energy=True, duration=15.0))
+    assert handle.energy is not None
+    result = handle.run()
+    total = handle.energy.total_joules(15.0, num_nodes=handle.config.num_nodes)
+    communication = handle.energy.communication_joules()
+    assert communication > 0
+    assert total > communication
+    # Sanity: total cannot exceed all nodes transmitting continuously.
+    model = handle.energy.model
+    assert total < handle.config.num_nodes * 15.0 * model.tx_power
+
+
+def test_energy_off_by_default():
+    from repro.scenarios.builder import build_simulation
+    from repro.scenarios.presets import tiny_scenario
+
+    handle = build_simulation(tiny_scenario(seed=3).but(duration=5.0))
+    assert handle.energy is None

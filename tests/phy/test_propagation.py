@@ -1,0 +1,34 @@
+"""Unit tests for the propagation model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.phy.propagation import DiskPropagation
+
+
+def test_defaults_match_wavelan():
+    propagation = DiskPropagation()
+    assert propagation.rx_range == 250.0
+    assert propagation.cs_range == 550.0
+
+
+def test_reception_boundary():
+    propagation = DiskPropagation(rx_range=250.0, cs_range=550.0)
+    assert propagation.can_receive(249.9)
+    assert propagation.can_receive(250.0)
+    assert not propagation.can_receive(250.1)
+
+
+def test_sense_boundary():
+    propagation = DiskPropagation(rx_range=250.0, cs_range=550.0)
+    assert propagation.can_sense(550.0)
+    assert not propagation.can_sense(550.1)
+    # Everything receivable is also sensed.
+    assert propagation.can_sense(100.0)
+
+
+def test_invalid_configuration():
+    with pytest.raises(ConfigurationError):
+        DiskPropagation(rx_range=0.0)
+    with pytest.raises(ConfigurationError):
+        DiskPropagation(rx_range=250.0, cs_range=100.0)

@@ -1,0 +1,145 @@
+"""Property-based tests for cache invariants.
+
+These drive the caches with arbitrary operation sequences and assert the
+structural invariants DSR correctness rests on: cached paths are loop-free,
+start at the owner, never exceed capacity, and the negative cache keeps the
+positive cache free of quarantined links.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.cache import PathCache
+from repro.core.link_cache import LinkCache
+from repro.core.negative_cache import NegativeCache
+from repro.core.request_table import SeenTable
+from repro.core.routes import is_valid_route, route_links
+
+OWNER = 0
+
+# Routes starting at the owner over a small id universe (dupes allowed so
+# some candidate routes are invalid and must be rejected).
+route_strategy = st.lists(
+    st.integers(min_value=1, max_value=8), min_size=1, max_size=6
+).map(lambda tail: [OWNER] + tail)
+
+link_strategy = st.tuples(
+    st.integers(min_value=0, max_value=8), st.integers(min_value=0, max_value=8)
+)
+
+
+class _Op:
+    pass
+
+
+ops_strategy = st.lists(
+    st.one_of(
+        st.tuples(st.just("add"), route_strategy),
+        st.tuples(st.just("remove"), link_strategy),
+        st.tuples(st.just("prune"), st.floats(min_value=0.1, max_value=20.0)),
+        st.tuples(st.just("use"), route_strategy),
+    ),
+    max_size=40,
+)
+
+
+def _check_path_cache_invariants(cache: PathCache):
+    assert len(cache) <= cache.capacity
+    for cached in cache.paths():
+        assert cached.route[0] == OWNER
+        assert is_valid_route(cached.route)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_path_cache_invariants_under_arbitrary_ops(ops):
+    cache = PathCache(OWNER, capacity=8)
+    now = 0.0
+    for op, arg in ops:
+        now += 1.0
+        if op == "add":
+            cache.add(arg, now)
+        elif op == "remove":
+            cache.remove_link(arg, now)
+        elif op == "prune":
+            cache.prune_stale(now, arg)
+        elif op == "use":
+            cache.note_links_used(arg, now, forwarded=True)
+        _check_path_cache_invariants(cache)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_removed_link_never_remains_cached(ops):
+    cache = PathCache(OWNER, capacity=8)
+    now = 0.0
+    for op, arg in ops:
+        now += 1.0
+        if op == "add":
+            cache.add(arg, now)
+        elif op == "remove":
+            cache.remove_link(arg, now)
+            assert not cache.contains_link(arg)
+        elif op == "prune":
+            cache.prune_stale(now, arg)
+        elif op == "use":
+            cache.note_links_used(arg, now, forwarded=False)
+
+
+@given(ops=ops_strategy)
+@settings(max_examples=60, deadline=None)
+def test_link_cache_routes_always_loop_free(ops):
+    cache = LinkCache(OWNER, capacity=16)
+    now = 0.0
+    for op, arg in ops:
+        now += 1.0
+        if op == "add":
+            cache.add(arg, now)
+        elif op == "remove":
+            cache.remove_link(arg, now)
+        elif op == "prune":
+            cache.prune_stale(now, arg)
+        elif op == "use":
+            cache.note_links_used(arg, now, forwarded=True)
+        for dst in range(1, 9):
+            route = cache.find(dst)
+            if route is not None:
+                assert route[0] == OWNER and route[-1] == dst
+                assert is_valid_route(route)
+                for link in route_links(route):
+                    assert cache.contains_link(link)
+
+
+@given(
+    routes=st.lists(route_strategy, max_size=20),
+    bad_links=st.lists(link_strategy, min_size=1, max_size=10),
+)
+@settings(max_examples=60, deadline=None)
+def test_negative_filter_keeps_caches_mutually_exclusive(routes, bad_links):
+    negative = NegativeCache(capacity=16, timeout=100.0)
+    cache = PathCache(OWNER, capacity=16)
+    now = 1.0
+    for link in bad_links:
+        negative.add(link, now)
+    for route in routes:
+        filtered = negative.filter_route(route, now)
+        if len(filtered) >= 2:
+            cache.add(filtered, now)
+    for link in bad_links:
+        if negative.contains(link, now):  # may have been FIFO-evicted
+            assert not cache.contains_link(link)
+
+
+@given(
+    keys=st.lists(st.integers(min_value=0, max_value=100), max_size=60),
+    capacity=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=50, deadline=None)
+def test_seen_table_never_exceeds_capacity(keys, capacity):
+    table = SeenTable(capacity=capacity)
+    for i, key in enumerate(keys):
+        table.insert(key, float(i))
+        assert len(table) <= capacity
+    # Everything still inside must report seen.
+    for key in list(table._entries):
+        assert table.seen(key, float(len(keys)))

@@ -1,0 +1,63 @@
+"""Property-based tests for the freshness date-check."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.freshness import LinkBreakHistory
+from repro.core.routes import route_links
+
+unique_route = st.lists(
+    st.integers(min_value=0, max_value=15), min_size=2, max_size=8, unique=True
+)
+
+breaks = st.lists(
+    st.tuples(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)),
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+    ),
+    max_size=20,
+)
+
+
+@given(route=unique_route, history_entries=breaks, generated_at=st.floats(0.0, 100.0))
+@settings(max_examples=80)
+def test_filter_returns_prefix_free_of_predating_breaks(
+    route, history_entries, generated_at
+):
+    history = LinkBreakHistory()
+    for link, when in history_entries:
+        history.record_break(link, when)
+    filtered = history.filter_route(route, generated_at)
+    # Always a prefix.
+    assert filtered == route[: len(filtered)]
+    # Every surviving link's information is not predated by a known break.
+    for link in route_links(filtered):
+        assert history.last_break(link) <= generated_at
+
+
+@given(route=unique_route, history_entries=breaks, generated_at=st.floats(0.0, 100.0))
+@settings(max_examples=80)
+def test_is_suspect_iff_filter_truncates(route, history_entries, generated_at):
+    history = LinkBreakHistory()
+    for link, when in history_entries:
+        history.record_break(link, when)
+    truncated = history.filter_route(route, generated_at) != list(route)
+    assert history.is_suspect(route, generated_at) == truncated
+
+
+@given(
+    link=st.tuples(st.integers(0, 15), st.integers(0, 15)),
+    times=st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=10),
+)
+def test_last_break_is_maximum_of_reports(link, times):
+    history = LinkBreakHistory()
+    for when in times:
+        history.record_break(link, when)
+    assert history.last_break(link) == max(times)
+
+
+@given(generated_at=st.floats(0.0, 100.0))
+def test_unknown_links_never_suspect(generated_at):
+    history = LinkBreakHistory()
+    assert not history.is_suspect([1, 2, 3], generated_at)
+    assert history.filter_route([1, 2, 3], generated_at) == [1, 2, 3]

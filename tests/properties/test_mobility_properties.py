@@ -1,0 +1,86 @@
+"""Property-based tests for mobility models."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mobility.waypoint import RandomWaypointModel
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    pause=st.floats(min_value=0.0, max_value=60.0, allow_nan=False),
+    width=st.floats(min_value=50.0, max_value=2000.0, allow_nan=False),
+    height=st.floats(min_value=50.0, max_value=800.0, allow_nan=False),
+)
+@settings(max_examples=25, deadline=None)
+def test_waypoint_positions_always_inside_field(seed, pause, width, height):
+    model = RandomWaypointModel(
+        num_nodes=4,
+        width=width,
+        height=height,
+        duration=60.0,
+        rng=np.random.default_rng(seed),
+        pause_time=pause,
+    )
+    for node_id in model.node_ids:
+        for t in np.linspace(0.0, 60.0, 61):
+            x, y = model.position(node_id, float(t))
+            assert -1e-6 <= x <= width + 1e-6
+            assert -1e-6 <= y <= height + 1e-6
+
+
+@given(seed=st.integers(min_value=0, max_value=10_000))
+@settings(max_examples=15, deadline=None)
+def test_trajectories_are_continuous(seed):
+    """No model may teleport: displacement over dt shrinks with dt."""
+    from repro.mobility.gauss_markov import GaussMarkovModel
+    from repro.mobility.rpgm import ReferencePointGroupModel
+
+    models = [
+        RandomWaypointModel(
+            num_nodes=3, width=400.0, height=300.0, duration=20.0,
+            rng=np.random.default_rng(seed),
+        ),
+        GaussMarkovModel(
+            num_nodes=3, width=400.0, height=300.0, duration=20.0,
+            rng=np.random.default_rng(seed),
+        ),
+        ReferencePointGroupModel(
+            num_nodes=3, width=400.0, height=300.0, duration=20.0,
+            rng=np.random.default_rng(seed), num_groups=1,
+            group_radius=50.0, deviation=10.0,
+        ),
+    ]
+    for model in models:
+        for node_id in model.node_ids:
+            for t in np.arange(0.0, 19.0, 1.3):
+                x0, y0 = model.position(node_id, float(t))
+                x1, y1 = model.position(node_id, float(t) + 0.01)
+                step = ((x1 - x0) ** 2 + (y1 - y0) ** 2) ** 0.5
+                # RPGM members re-draw a bounded deviation each second; all
+                # models stay within a physically small jump for 10 ms.
+                assert step < 25.0
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    max_speed=st.floats(min_value=1.0, max_value=40.0, allow_nan=False),
+)
+@settings(max_examples=25, deadline=None)
+def test_waypoint_speed_bounded(seed, max_speed):
+    model = RandomWaypointModel(
+        num_nodes=3,
+        width=500.0,
+        height=500.0,
+        duration=30.0,
+        rng=np.random.default_rng(seed),
+        max_speed=max_speed,
+    )
+    dt = 0.25
+    for node_id in model.node_ids:
+        for t in np.arange(0.0, 29.0, dt):
+            x0, y0 = model.position(node_id, float(t))
+            x1, y1 = model.position(node_id, float(t + dt))
+            displacement = ((x1 - x0) ** 2 + (y1 - y0) ** 2) ** 0.5
+            assert displacement <= max_speed * dt + 1e-6

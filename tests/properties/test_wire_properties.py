@@ -1,0 +1,90 @@
+"""Property-based round-trip tests for the DSR wire encoding."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.messages import RouteError, RouteReply, RouteRequest
+from repro.core.wire import (
+    decode_route_error,
+    decode_route_reply,
+    decode_route_request,
+    decode_source_route,
+    encode_route_error,
+    encode_route_reply,
+    encode_route_request,
+    encode_source_route,
+)
+
+node_ids = st.integers(min_value=0, max_value=2**31 - 1)
+routes = st.lists(node_ids, min_size=1, max_size=30)
+
+
+@given(route=routes, data=st.data())
+def test_source_route_roundtrip(route, data):
+    segments_left = data.draw(st.integers(min_value=0, max_value=len(route)))
+    decoded, segs, rest = decode_source_route(
+        encode_source_route(route, segments_left)
+    )
+    assert decoded == route
+    assert segs == segments_left
+    assert rest == b""
+
+
+@given(
+    origin=node_ids,
+    target=node_ids,
+    request_id=st.integers(min_value=0, max_value=0xFFFF),
+    record=routes,
+)
+def test_route_request_roundtrip(origin, target, request_id, record):
+    original = RouteRequest(
+        origin=origin, target=target, request_id=request_id, record=record
+    )
+    decoded, rest = decode_route_request(encode_route_request(original))
+    assert decoded == original
+    assert rest == b""
+
+
+@given(
+    route=routes,
+    request_id=st.integers(min_value=0, max_value=0xFFFF),
+    from_cache=st.booleans(),
+    gratuitous=st.booleans(),
+    generated_at=st.one_of(
+        st.none(), st.floats(min_value=0.0, max_value=40_000_000.0, allow_nan=False)
+    ),
+)
+@settings(max_examples=80)
+def test_route_reply_roundtrip(route, request_id, from_cache, gratuitous, generated_at):
+    original = RouteReply(
+        route=route,
+        request_id=request_id,
+        from_cache=from_cache,
+        gratuitous=gratuitous,
+        generated_at=generated_at,
+    )
+    decoded, rest = decode_route_reply(encode_route_reply(original))
+    assert decoded.route == route
+    assert decoded.request_id == request_id
+    assert decoded.from_cache == from_cache
+    assert decoded.gratuitous == gratuitous
+    if generated_at is None:
+        assert decoded.generated_at is None
+    else:
+        assert abs(decoded.generated_at - generated_at) <= 0.005 + 1e-9
+    assert rest == b""
+
+
+@given(
+    a=node_ids,
+    b=node_ids,
+    detector=node_ids,
+    error_id=st.integers(min_value=0, max_value=0xFFFF),
+)
+def test_route_error_roundtrip(a, b, detector, error_id):
+    original = RouteError(link=(a, b), detector=detector, error_id=error_id)
+    decoded, rest = decode_route_error(encode_route_error(original))
+    assert decoded.link == (a, b)
+    assert decoded.detector == detector
+    assert decoded.error_id == error_id
+    assert rest == b""

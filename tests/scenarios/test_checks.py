@@ -1,0 +1,55 @@
+"""Tests for scenario sanity checks."""
+
+from repro.scenarios.checks import check_scenario, expected_degree, offered_load_fraction
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.presets import paper_scenario, scaled_scenario
+
+
+def _codes(config):
+    return {warning.code for warning in check_scenario(config)}
+
+
+def test_paper_scenario_is_healthy():
+    assert _codes(paper_scenario()) == set()
+
+
+def test_scaled_scenario_is_healthy():
+    assert _codes(scaled_scenario()) == set()
+
+
+def test_expected_degree_matches_measurement():
+    """The heuristic should land near the measured average degree (15)."""
+    degree = expected_degree(paper_scenario())
+    assert 10.0 < degree < 20.0
+
+
+def test_sparse_warning():
+    config = ScenarioConfig(
+        num_nodes=10, field_width=5000.0, field_height=5000.0, num_sessions=3
+    )
+    assert "sparse" in _codes(config)
+
+
+def test_dense_warning():
+    config = ScenarioConfig(
+        num_nodes=80, field_width=300.0, field_height=300.0, num_sessions=10
+    )
+    assert "dense" in _codes(config)
+
+
+def test_overload_warning():
+    config = paper_scenario(packet_rate=40.0)
+    assert "overload" in _codes(config)
+    assert offered_load_fraction(config) > 1.0
+
+
+def test_late_traffic_warning():
+    config = ScenarioConfig(duration=20.0, start_window=30.0)
+    codes = _codes(config)
+    assert "late-traffic" in codes
+    assert "short-run" in codes  # 20 s < 30 s buffer timeout
+
+
+def test_pause_noise_warning():
+    config = paper_scenario(pause_time=5.0)  # 1% of a 500 s run
+    assert "pause-noise" in _codes(config)

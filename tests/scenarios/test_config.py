@@ -1,0 +1,46 @@
+"""Unit tests for scenario configuration."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.scenarios.config import ScenarioConfig
+
+
+def test_defaults_match_paper_section_4_1():
+    config = ScenarioConfig()
+    assert config.num_nodes == 100
+    assert (config.field_width, config.field_height) == (2200.0, 600.0)
+    assert config.duration == 500.0
+    assert config.num_sessions == 25
+    assert config.payload_bytes == 512
+    assert config.rx_range == 250.0
+    assert config.max_speed == 20.0
+
+
+def test_offered_load_computation():
+    config = ScenarioConfig(num_sessions=25, packet_rate=3.0, payload_bytes=512)
+    # 25 sessions * 3 pkt/s * 512 B * 8 b/B = 307.2 kb/s
+    assert config.offered_load_kbps == pytest.approx(307.2)
+
+
+def test_but_creates_modified_copy():
+    config = ScenarioConfig()
+    other = config.but(pause_time=100.0, seed=9)
+    assert other.pause_time == 100.0 and other.seed == 9
+    assert config.pause_time == 0.0
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"num_nodes": 1},
+        {"duration": 0.0},
+        {"num_sessions": -1},
+        {"num_sessions": 200},
+        {"packet_rate": 0.0},
+        {"protocol": "olsr"},
+    ],
+)
+def test_validation(kwargs):
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(**kwargs)

@@ -1,0 +1,45 @@
+"""Unit tests for scenario presets."""
+
+from repro.core.config import DsrConfig
+from repro.scenarios import presets
+
+
+def test_paper_scenario_matches_section_4_1():
+    config = presets.paper_scenario(pause_time=100.0, packet_rate=4.0, seed=7)
+    assert config.num_nodes == 100
+    assert (config.field_width, config.field_height) == (2200.0, 600.0)
+    assert config.duration == 500.0
+    assert config.num_sessions == 25
+    assert config.pause_time == 100.0
+    assert config.packet_rate == 4.0
+    assert config.seed == 7
+
+
+def test_scaled_scenario_preserves_density_within_tolerance():
+    paper = presets.paper_scenario()
+    scaled = presets.scaled_scenario()
+    paper_density = paper.num_nodes / (paper.field_width * paper.field_height)
+    scaled_density = scaled.num_nodes / (scaled.field_width * scaled.field_height)
+    assert 0.7 < scaled_density / paper_density < 1.5
+
+
+def test_scaled_scenario_preserves_traffic_intensity():
+    """Sessions per node within a factor of ~1.2 of the paper's 25/100."""
+    paper = presets.paper_scenario()
+    scaled = presets.scaled_scenario()
+    paper_intensity = paper.num_sessions / paper.num_nodes
+    scaled_intensity = scaled.num_sessions / scaled.num_nodes
+    assert 0.8 < scaled_intensity / paper_intensity < 1.25
+
+
+def test_presets_accept_dsr_variants():
+    config = presets.tiny_scenario(dsr=DsrConfig.all_techniques())
+    assert config.dsr.wider_error
+    config = presets.scaled_scenario(dsr=DsrConfig.with_static_expiry(5.0))
+    assert config.dsr.static_timeout == 5.0
+
+
+def test_tiny_scenario_is_actually_tiny():
+    config = presets.tiny_scenario()
+    assert config.num_nodes <= 15
+    assert config.duration <= 60.0

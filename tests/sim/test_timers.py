@@ -1,0 +1,100 @@
+"""Unit tests for restartable and periodic timers."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.timers import PeriodicTimer, Timer
+
+
+def test_timer_fires_once():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(2.0)
+    sim.run()
+    assert fired == [2.0]
+    assert not timer.running
+
+
+def test_timer_restart_supersedes_previous_deadline():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append(sim.now))
+    timer.start(1.0)
+    timer.start(3.0)  # re-arm before firing
+    sim.run()
+    assert fired == [3.0]
+
+
+def test_timer_cancel():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: fired.append("x"))
+    timer.start(1.0)
+    timer.cancel()
+    sim.run()
+    assert fired == []
+    assert not timer.running
+
+
+def test_timer_passes_start_args():
+    sim = Simulator()
+    received = []
+    timer = Timer(sim, lambda a, b: received.append((a, b)))
+    timer.start(1.0, "hello", 42)
+    sim.run()
+    assert received == [("hello", 42)]
+
+
+def test_timer_expiry_property():
+    sim = Simulator()
+    timer = Timer(sim, lambda: None)
+    assert timer.expiry is None
+    timer.start(2.5)
+    assert timer.expiry == 2.5
+    timer.cancel()
+    assert timer.expiry is None
+
+
+def test_timer_can_rearm_from_callback():
+    sim = Simulator()
+    fired = []
+    timer = Timer(sim, lambda: None)
+
+    def on_fire():
+        fired.append(sim.now)
+        if len(fired) < 3:
+            timer.start(1.0)
+
+    timer._fn = on_fire
+    timer.start(1.0)
+    sim.run()
+    assert fired == [1.0, 2.0, 3.0]
+
+
+def test_periodic_timer_ticks_until_stopped():
+    sim = Simulator()
+    ticks = []
+    periodic = PeriodicTimer(sim, 0.5, lambda: ticks.append(sim.now))
+    periodic.start()
+    sim.run(until=2.2)
+    assert ticks == [0.5, 1.0, 1.5, 2.0]
+    periodic.stop()
+    sim.schedule(10.0, lambda: None)
+    sim.run()
+    assert len(ticks) == 4
+
+
+def test_periodic_timer_initial_delay():
+    sim = Simulator()
+    ticks = []
+    periodic = PeriodicTimer(sim, 1.0, lambda: ticks.append(sim.now))
+    periodic.start(initial_delay=0.25)
+    sim.run(until=2.5)
+    assert ticks == [0.25, 1.25, 2.25]
+
+
+def test_periodic_timer_rejects_nonpositive_period():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        PeriodicTimer(sim, 0.0, lambda: None)

@@ -1,0 +1,60 @@
+"""Unit tests for the tracing hub."""
+
+from repro.sim.trace import NullTracer, Tracer
+
+
+def test_subscribers_receive_matching_records():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("mac.tx", seen.append)
+    tracer.emit(1.0, "mac.tx", node=3)
+    tracer.emit(2.0, "other", node=4)
+    assert len(seen) == 1
+    assert seen[0].time == 1.0
+    assert seen[0].fields["node"] == 3
+
+
+def test_wildcard_subscriber_sees_everything():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("*", seen.append)
+    tracer.emit(1.0, "a")
+    tracer.emit(2.0, "b")
+    assert [record.kind for record in seen] == ["a", "b"]
+
+
+def test_wants_reflects_subscriptions():
+    tracer = Tracer()
+    assert not tracer.wants("x")
+    tracer.subscribe("x", lambda record: None)
+    assert tracer.wants("x")
+    assert not tracer.wants("y")
+    tracer.subscribe("*", lambda record: None)
+    assert tracer.wants("y")
+
+
+def test_record_field_attribute_access():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("k", seen.append)
+    tracer.emit(0.5, "k", alpha=1, beta="two")
+    record = seen[0]
+    assert record.alpha == 1
+    assert record.beta == "two"
+
+
+def test_multiple_subscribers_same_kind():
+    tracer = Tracer()
+    a, b = [], []
+    tracer.subscribe("k", a.append)
+    tracer.subscribe("k", b.append)
+    tracer.emit(0.0, "k")
+    assert len(a) == 1 and len(b) == 1
+
+
+def test_null_tracer_drops_everything():
+    tracer = NullTracer()
+    seen = []
+    tracer.subscribe("k", seen.append)
+    tracer.emit(0.0, "k")
+    assert seen == []

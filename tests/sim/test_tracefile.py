@@ -1,0 +1,68 @@
+"""Unit tests for the trace file writer."""
+
+import json
+
+import pytest
+
+from repro.sim.trace import Tracer
+from repro.sim.tracefile import TraceFileWriter
+
+
+def test_text_format_lines(tmp_path):
+    tracer = Tracer()
+    path = tmp_path / "trace.txt"
+    with TraceFileWriter(tracer, path) as writer:
+        tracer.emit(1.5, "mac.tx", node=3, frame_kind="rts")
+        tracer.emit(2.0, "dsr.drop", node=4, reason="negative-cache")
+    lines = path.read_text().splitlines()
+    assert lines[0] == "1.500000 mac.tx frame_kind=rts node=3"
+    assert "reason=negative-cache" in lines[1]
+    assert writer.records_written == 2
+
+
+def test_jsonl_format(tmp_path):
+    tracer = Tracer()
+    path = tmp_path / "trace.jsonl"
+    with TraceFileWriter(tracer, path, fmt="jsonl") as writer:
+        tracer.emit(1.5, "app.recv", uid=9, born=1.0)
+    payload = json.loads(path.read_text().splitlines()[0])
+    assert payload == {"t": 1.5, "kind": "app.recv", "uid": 9, "born": 1.0}
+
+
+def test_kind_filtering(tmp_path):
+    tracer = Tracer()
+    path = tmp_path / "trace.txt"
+    with TraceFileWriter(tracer, path, kinds=["mac.tx"]):
+        tracer.emit(1.0, "mac.tx", node=1, frame_kind="data")
+        tracer.emit(2.0, "other", node=2)
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_writes_stop_after_close(tmp_path):
+    tracer = Tracer()
+    path = tmp_path / "trace.txt"
+    writer = TraceFileWriter(tracer, path)
+    tracer.emit(1.0, "k", a=1)
+    writer.close()
+    tracer.emit(2.0, "k", a=2)  # silently dropped
+    assert len(path.read_text().splitlines()) == 1
+
+
+def test_rejects_unknown_format(tmp_path):
+    with pytest.raises(ValueError):
+        TraceFileWriter(Tracer(), tmp_path / "x", fmt="xml")
+
+
+def test_full_simulation_trace(tmp_path):
+    from repro.scenarios.presets import tiny_scenario
+    from repro.scenarios.builder import build_simulation
+
+    handle = build_simulation(tiny_scenario(seed=5).but(duration=10.0))
+    path = tmp_path / "run.txt"
+    with TraceFileWriter(handle.tracer, path, kinds=["app.send", "app.recv"]) as writer:
+        handle.sim.run(until=10.0)
+    assert writer.records_written > 0
+    assert all(
+        line.split()[1] in ("app.send", "app.recv")
+        for line in path.read_text().splitlines()
+    )

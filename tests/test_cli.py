@@ -1,0 +1,88 @@
+"""Tests for the repro-run command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_cli_tiny_run(capsys):
+    exit_code = main(["--preset", "tiny", "--variant", "DSR", "--seed", "2"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "packet delivery fraction" in out
+    assert "normalized overhead" in out
+
+
+def test_cli_variant_and_static_timeout(capsys):
+    exit_code = main(
+        [
+            "--preset",
+            "tiny",
+            "--variant",
+            "AllTechniques",
+            "--static-timeout",
+            "10",
+            "--duration",
+            "20",
+        ]
+    )
+    assert exit_code == 0
+    assert "good replies" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_variant():
+    with pytest.raises(SystemExit):
+        main(["--variant", "NoSuchThing"])
+
+
+def test_cli_aodv_protocol(capsys):
+    exit_code = main(["--preset", "tiny", "--protocol", "aodv", "--duration", "15"])
+    assert exit_code == 0
+    assert "packet delivery fraction" in capsys.readouterr().out
+
+
+def test_cli_alternate_mobility_and_grey_zone(capsys):
+    exit_code = main(
+        [
+            "--preset",
+            "tiny",
+            "--mobility",
+            "gauss_markov",
+            "--grey-zone",
+            "0.15",
+            "--duration",
+            "15",
+        ]
+    )
+    assert exit_code == 0
+
+
+def test_cli_config_roundtrip(tmp_path, capsys):
+    saved = tmp_path / "scenario.json"
+    first = main(
+        ["--preset", "tiny", "--duration", "15", "--seed", "5", "--save-config", str(saved)]
+    )
+    assert first == 0
+    out_first = capsys.readouterr().out
+    second = main(["--config", str(saved)])
+    assert second == 0
+    out_second = capsys.readouterr().out
+    assert out_first == out_second  # identical scenario, identical metrics
+
+
+def test_cli_seed_averaging(capsys):
+    exit_code = main(["--preset", "tiny", "--duration", "15", "--seeds", "1,2"])
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "+/-" in out
+    assert "seeds" in out
+
+
+def test_cli_json_export(tmp_path, capsys):
+    import json
+
+    out = tmp_path / "result.json"
+    exit_code = main(["--preset", "tiny", "--duration", "15", "--json", str(out)])
+    assert exit_code == 0
+    payload = json.loads(out.read_text())
+    assert "pdf" in payload["derived"]

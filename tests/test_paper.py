@@ -1,0 +1,65 @@
+"""Tests for the one-call paper reproduction module."""
+
+import pytest
+
+from repro.paper import PaperReport, reproduce
+
+
+@pytest.fixture(scope="module")
+def quick_report():
+    return reproduce(scale="quick", seeds=[1], fig2_variants=["DSR", "AllTechniques"])
+
+
+def test_report_structure(quick_report):
+    assert isinstance(quick_report, PaperReport)
+    assert quick_report.scale == "quick"
+    # Fig 1: no-timeout + adaptive + 5 statics.
+    assert len(quick_report.fig1) == 7
+    assert quick_report.fig1[0].label == "no timeout"
+    assert set(quick_report.fig2) == {"DSR", "AllTechniques"}
+    assert len(quick_report.fig2["DSR"]) == 3  # three pause points
+    assert set(quick_report.table3) == {
+        "DSR",
+        "WiderError",
+        "AdaptiveExpiry",
+        "NegativeCache",
+        "AllTechniques",
+    }
+    assert set(quick_report.fig4) == {"DSR", "AllTechniques"}
+
+
+def test_report_values_in_domain(quick_report):
+    for point in quick_report.fig1:
+        assert 0.0 <= point.metric("pdf") <= 1.0
+    for points in quick_report.fig2.values():
+        for point in points:
+            assert 0.0 <= point.metric("pdf") <= 1.0
+    for aggregate in quick_report.table3.values():
+        assert 0.0 <= aggregate["good_replies_pct"] <= 100.0
+
+
+def test_markdown_rendering(quick_report):
+    markdown = quick_report.to_markdown()
+    assert "# Reproduction report" in markdown
+    assert "Figure 1" in markdown
+    assert "Table 3" in markdown
+    assert "Figure 4" in markdown
+    assert "AllTechniques" in markdown
+
+
+def test_rejects_unknown_scale():
+    with pytest.raises(ValueError):
+        reproduce(scale="galactic")
+
+
+def test_progress_callback_invoked():
+    messages = []
+    reproduce(
+        scale="quick",
+        seeds=[1],
+        progress=messages.append,
+        fig2_variants=["DSR"],
+        fig4_variants=("DSR",),
+    )
+    assert any("figure 1" in message for message in messages)
+    assert any("table 3" in message for message in messages)

@@ -1,0 +1,45 @@
+"""Unit tests for CBR sources and sinks."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.cbr import CbrSource
+from repro.traffic.sink import Sink
+
+from tests.helpers import build_static_net
+
+
+def test_cbr_sends_at_configured_rate():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    source = CbrSource(net.sim, net.nodes[0], dst=1, rate=4.0, start=0.0)
+    net.sim.run(until=2.49)
+    # Sends at t = 0, 0.25, ..., 2.25 -> 10 packets.
+    assert source.packets_sent == 10
+
+
+def test_cbr_respects_start_and_stop():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    source = CbrSource(net.sim, net.nodes[0], dst=1, rate=2.0, start=1.0, stop=3.0)
+    net.sim.run(until=10.0)
+    # Sends at t = 1.0, 1.5, 2.0, 2.5 (3.0 is >= stop).
+    assert source.packets_sent == 4
+
+
+def test_sink_counts_deliveries():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    sink = Sink(net.nodes[1])
+    CbrSource(net.sim, net.nodes[0], dst=1, rate=5.0, start=0.0, stop=1.0)
+    net.sim.run(until=3.0)
+    assert sink.received == 5
+    assert sink.bytes_received == 5 * 512
+    assert len(set(sink.uids)) == 5
+
+
+def test_cbr_validation():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    with pytest.raises(ConfigurationError):
+        CbrSource(net.sim, net.nodes[0], dst=1, rate=0.0)
+    with pytest.raises(ConfigurationError):
+        CbrSource(net.sim, net.nodes[0], dst=1, rate=1.0, payload_bytes=0)
+    with pytest.raises(ConfigurationError):
+        CbrSource(net.sim, net.nodes[0], dst=1, rate=1.0, start=5.0, stop=1.0)

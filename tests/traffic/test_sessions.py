@@ -1,0 +1,40 @@
+"""Unit tests for random session generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traffic.sessions import random_sessions
+
+
+def test_sources_are_distinct_and_valid():
+    sessions = random_sessions(20, 10, np.random.default_rng(1))
+    sources = [s.src for s in sessions]
+    assert len(set(sources)) == 10
+    assert all(0 <= s.src < 20 for s in sessions)
+
+
+def test_destination_never_equals_source():
+    for seed in range(20):
+        sessions = random_sessions(5, 5, np.random.default_rng(seed))
+        assert all(s.src != s.dst for s in sessions)
+        assert all(0 <= s.dst < 5 for s in sessions)
+
+
+def test_start_times_within_window():
+    sessions = random_sessions(10, 5, np.random.default_rng(2), start_window=7.0)
+    assert all(0.0 <= s.start <= 7.0 for s in sessions)
+
+
+def test_reproducible_for_fixed_seed():
+    a = random_sessions(30, 10, np.random.default_rng(42))
+    b = random_sessions(30, 10, np.random.default_rng(42))
+    assert a == b
+
+
+def test_validation():
+    rng = np.random.default_rng(0)
+    with pytest.raises(ConfigurationError):
+        random_sessions(5, 6, rng)
+    with pytest.raises(ConfigurationError):
+        random_sessions(1, 1, rng)

@@ -1,0 +1,119 @@
+"""Tests for the Tahoe TCP implementation."""
+
+import pytest
+
+from repro.mobility.grid import chain_positions
+from repro.traffic.tcp import TcpAck, TcpSegment, TcpSink, TcpSource
+
+from tests.helpers import build_static_net, build_net_from_mobility, moving_away_mobility
+
+
+def _flow(net, src, dst, flow=1, start=0.1):
+    sink = TcpSink(net.nodes[dst], flow=flow)
+    source = TcpSource(net.sim, net.nodes[src], sink, dst=dst, flow=flow, start=start)
+    return source, sink
+
+
+def test_single_hop_transfer_makes_progress():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    source, sink = _flow(net, 0, 1)
+    net.sim.run(until=5.0)
+    assert sink.goodput_segments > 50
+    # ACKs may still be in flight, but the sender can never be ahead of
+    # what the sink has actually received in order.
+    assert source.send_base <= sink.next_expected
+
+
+def test_slow_start_grows_window_exponentially_then_linearly():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    source, sink = _flow(net, 0, 1)
+    net.sim.run(until=0.5)
+    assert source.cwnd > 4  # grew past the initial window
+    net.sim.run(until=5.0)
+    assert source.cwnd <= source.max_cwnd
+
+
+def test_multi_hop_transfer():
+    net = build_static_net(chain_positions(4, 220.0))
+    source, sink = _flow(net, 0, 3)
+    net.sim.run(until=10.0)
+    assert sink.goodput_segments > 30
+
+
+def test_in_order_delivery_tracking():
+    sink = TcpSink.__new__(TcpSink)
+    sink.flow = 1
+    sink.next_expected = 1
+    sink.received_out_of_order = set()
+    sink.segments_received = 0
+    sink._peer = None
+    sink._node = None
+    sink._on_segment(TcpSegment(flow=1, seq=1))
+    sink._on_segment(TcpSegment(flow=1, seq=3))
+    assert sink.next_expected == 2
+    sink._on_segment(TcpSegment(flow=1, seq=2))
+    assert sink.next_expected == 4  # out-of-order 3 consumed
+
+
+def test_duplicate_acks_trigger_fast_retransmit():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    source, sink = _flow(net, 0, 1)
+    net.sim.run(until=1.0)
+    base = source.send_base
+    before = source.retransmissions
+    for _ in range(3):
+        source._on_ack(TcpAck(flow=1, ack_next=base))
+    assert source.retransmissions == before + 1
+    assert source.cwnd == 1.0  # Tahoe collapse
+
+
+def test_timeout_backs_off_rto():
+    net = build_static_net([(0.0, 0.0), (1000.0, 0.0)])  # unreachable peer
+    source, sink = _flow(net, 0, 1)
+    net.sim.run(until=40.0)
+    assert source.timeouts >= 2
+    assert source.rto > source.MIN_RTO
+    assert sink.goodput_segments == 0
+
+
+def test_karns_rule_ignores_retransmitted_echoes():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    source, sink = _flow(net, 0, 1)
+    net.sim.run(until=1.0)
+    srtt_before = source._srtt
+    source._on_ack(
+        TcpAck(
+            flow=1,
+            ack_next=source.send_base + 1,
+            echo_sent_at=net.sim.now - 99.0,
+            echo_retransmission=True,
+        )
+    )
+    assert source._srtt == srtt_before  # the absurd 99 s sample was ignored
+
+
+def test_route_break_stalls_then_recovers():
+    """TCP over the salvage diamond: progress resumes after the relay dies."""
+    positions = [
+        (0.0, 0.0),
+        (200.0, 0.0),
+        (200.0, 120.0),
+        (400.0, 0.0),
+    ]
+    mobility = moving_away_mobility(positions, mover=1, depart_at=5.0, speed=200.0)
+    net = build_net_from_mobility(mobility)
+    source, sink = _flow(net, 0, 3)
+    net.sim.run(until=5.0)
+    at_break = sink.goodput_segments
+    assert at_break > 20
+    net.sim.run(until=30.0)
+    assert sink.goodput_segments > at_break + 20  # resumed via the other relay
+
+
+def test_two_flows_do_not_interfere_logically():
+    net = build_static_net([(0.0, 0.0), (200.0, 0.0)])
+    source_a, sink_a = _flow(net, 0, 1, flow=1)
+    source_b, sink_b = _flow(net, 1, 0, flow=2)
+    net.sim.run(until=5.0)
+    assert sink_a.goodput_segments > 10
+    assert sink_b.goodput_segments > 10
