@@ -99,3 +99,54 @@ def test_full_stack_packet_throughput(benchmark):
 
     delivered = benchmark(run)
     assert delivered > 0
+
+
+def test_engine_cancel_churn_with_compaction(benchmark):
+    """MAC-like churn: every tick arms a far-future timeout and cancels it.
+
+    Without heap compaction the cancelled timeouts pile up (50k corpses by
+    the end) and every push/pop pays log(garbage); with it the heap stays
+    near its live size.  This is the access pattern of CTS/ACK timeouts,
+    which are cancelled far more often than they fire.
+    """
+
+    def run():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            timeout = sim.schedule(1000.0, lambda: None)
+            sim.schedule(0.0005, timeout.cancel)
+            if count[0] < 50_000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run(until=900.0)
+        return sim.stats()
+
+    stats = benchmark(run)
+    assert stats.cancelled == 50_000
+    assert stats.compactions >= 1
+    # The whole point: the heap must not retain the cancelled majority.
+    assert stats.pending + stats.pending_cancelled < 5_000
+
+
+def test_engine_stats_smoke(benchmark):
+    """stats() is cheap and its counters add up."""
+
+    def run():
+        sim = Simulator()
+        for i in range(1_000):
+            keep = sim.schedule(float(i), lambda: None)
+            victim = sim.schedule(float(i) + 0.5, lambda: None)
+            victim.cancel()
+            assert keep is not None
+        executed = sim.run()
+        stats = sim.stats()
+        assert stats.executed == executed == 1_000
+        assert stats.cancelled == 1_000
+        assert stats.skipped + stats.pending_cancelled <= 1_000
+        return stats
+
+    benchmark(run)

@@ -1,0 +1,98 @@
+"""Microbenchmarks for the mobility/PHY geometry hot path.
+
+Not a paper artifact — these pin the cost of the three geometry operations
+the channel leans on (batched position sampling, the per-quantum neighbour
+refresh, and the route-validity oracle) so regressions show up in isolation
+rather than smeared over a whole experiment.  Run with ``--benchmark-disable``
+for a fast correctness smoke.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.mobility.waypoint import RandomWaypointModel
+from repro.phy.neighbors import NeighborCache
+from repro.phy.propagation import DiskPropagation
+
+NODES = 50
+DURATION = 90.0
+
+
+def _model(seed: int = 1) -> RandomWaypointModel:
+    return RandomWaypointModel(
+        num_nodes=NODES,
+        width=1000.0,
+        height=500.0,
+        duration=DURATION,
+        rng=np.random.default_rng(seed),
+        max_speed=20.0,
+        pause_time=0.0,
+    )
+
+
+def test_batched_positions_throughput(benchmark):
+    """One vectorized positions() sweep per quantum over the whole run."""
+    model = _model()
+    times = np.arange(0.0, DURATION, 0.05)
+
+    def run():
+        total = 0.0
+        for t in times:
+            total += float(model.positions(float(t))[:, 0].sum())
+        return total
+
+    result = benchmark(run)
+    assert result > 0.0
+
+
+def test_scalar_position_loop_reference(benchmark):
+    """The per-node Python loop the batched API replaced (for comparison)."""
+    model = _model()
+    times = np.arange(0.0, DURATION, 0.05)[:200]  # subset: this one is slow
+
+    def run():
+        total = 0.0
+        for t in times:
+            for node_id in model.node_ids:
+                total += model.position(node_id, float(t))[0]
+        return total
+
+    result = benchmark(run)
+    assert result > 0.0
+
+
+def test_neighbor_refresh_throughput(benchmark):
+    """Full O(n^2) squared-distance refresh, once per 50 ms quantum."""
+    model = _model()
+
+    def run():
+        cache = NeighborCache(model, DiskPropagation(), quantum=0.05)
+        degree = 0
+        for t in np.arange(0.0, DURATION, 0.05):
+            degree += len(cache.rx_neighbors(0, float(t)))
+        return degree
+
+    degree = benchmark(run)
+    assert degree > 0
+
+
+def test_route_valid_throughput(benchmark):
+    """The cache-correctness oracle: vectorized per-hop range check."""
+    model = _model()
+    cache = NeighborCache(model, DiskPropagation(), quantum=0.05)
+    rng = np.random.default_rng(7)
+    routes = [
+        [int(n) for n in rng.permutation(NODES)[: int(rng.integers(2, 8))]]
+        for _ in range(200)
+    ]
+
+    def run():
+        valid = 0
+        for t in np.arange(0.0, DURATION, 1.0):
+            for route in routes:
+                valid += cache.route_valid(route, float(t))
+        return valid
+
+    valid = benchmark(run)
+    assert valid >= 0

@@ -1,0 +1,161 @@
+"""Record kernel performance into BENCH_kernel.json.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record_kernel_bench.py [--rounds N]
+
+Measures the simulation kernel after the vectorized-PHY/compacting-engine
+work and compares it against the pre-optimisation baseline (captured from
+the seed tree on the same machine with the same best-of-N protocol):
+
+* full-run wall time of the scaled pause-0 scenario (the paper's hardest
+  mobility point: continuous motion),
+* engine event throughput (chained-tick microbenchmark),
+* engine throughput under MAC-like cancel churn (the case heap compaction
+  exists for).
+
+The scenario's metrics are asserted equal to the baseline's, bit for bit —
+a speedup that changes simulation output is a bug, not a win.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.scenarios.builder import build_simulation  # noqa: E402
+from repro.scenarios.presets import scaled_scenario  # noqa: E402
+from repro.sim.engine import Simulator  # noqa: E402
+
+# Captured from the seed tree (commit 1591702) on the same host, same
+# best-of-3 protocol, before any of the hot-path work in this change.
+BASELINE = {
+    "full_run_wall_s": 4.617,
+    "chained_events_per_s": 912_064,
+    "cancel_churn_events_per_s": 199_257,
+    "metrics": {
+        "data_sent": 2741,
+        "data_received": 2705,
+        "delay_sum": 37.56623948670993,
+    },
+}
+
+
+def measure_full_run(rounds: int) -> dict:
+    walls = []
+    result = None
+    stats = None
+    for _ in range(rounds):
+        config = scaled_scenario(pause_time=0.0, seed=1)
+        start = time.perf_counter()
+        handle = build_simulation(config)
+        result = handle.run()
+        walls.append(time.perf_counter() - start)
+        stats = handle.sim.stats()
+    metrics = {
+        "data_sent": result.data_sent,
+        "data_received": result.data_received,
+        "delay_sum": result.delay_sum,
+    }
+    if metrics != BASELINE["metrics"]:
+        raise SystemExit(
+            f"metrics drifted from baseline: {metrics} != {BASELINE['metrics']}"
+        )
+    wall = min(walls)
+    return {
+        "wall_s": round(wall, 3),
+        "wall_s_all_rounds": [round(w, 3) for w in walls],
+        "events_per_s": round((stats.executed + stats.skipped) / wall),
+        "metrics": metrics,
+        "engine_stats": dataclasses.asdict(stats),
+    }
+
+
+def measure_chained(rounds: int, n: int = 200_000) -> float:
+    def once() -> float:
+        sim = Simulator()
+        count = [0]
+
+        def tick() -> None:
+            count[0] += 1
+            if count[0] < n:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        start = time.perf_counter()
+        sim.run()
+        return n / (time.perf_counter() - start)
+
+    return max(once() for _ in range(rounds))
+
+
+def measure_cancel_churn(rounds: int, n: int = 50_000) -> float:
+    def once() -> float:
+        sim = Simulator()
+        count = [0]
+
+        def tick() -> None:
+            count[0] += 1
+            timeout = sim.schedule(1000.0, lambda: None)
+            sim.schedule(0.0005, timeout.cancel)
+            if count[0] < n:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.0, tick)
+        start = time.perf_counter()
+        sim.run(until=900.0)
+        return 3 * n / (time.perf_counter() - start)
+
+    return max(once() for _ in range(rounds))
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rounds", type=int, default=3, help="best-of-N rounds")
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_kernel.json",
+    )
+    args = parser.parse_args()
+
+    full = measure_full_run(args.rounds)
+    chained = measure_chained(args.rounds)
+    churn = measure_cancel_churn(args.rounds)
+
+    report = {
+        "benchmark": "kernel hot path (scaled pause-0 scenario + engine microbenches)",
+        "protocol": f"best of {args.rounds} rounds, wall time via perf_counter",
+        "scenario": "scaled_scenario(pause_time=0.0, seed=1)",
+        "baseline": BASELINE,
+        "current": {
+            "full_run_wall_s": full["wall_s"],
+            "full_run_wall_s_all_rounds": full["wall_s_all_rounds"],
+            "full_run_events_per_s": full["events_per_s"],
+            "chained_events_per_s": round(chained),
+            "cancel_churn_events_per_s": round(churn),
+            "metrics": full["metrics"],
+            "engine_stats": full["engine_stats"],
+        },
+        "speedup": {
+            "full_run_wall": round(BASELINE["full_run_wall_s"] / full["wall_s"], 3),
+            "chained_events": round(chained / BASELINE["chained_events_per_s"], 3),
+            "cancel_churn_events": round(
+                churn / BASELINE["cancel_churn_events_per_s"], 3
+            ),
+        },
+        "metrics_bit_identical_to_baseline": True,
+    }
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["speedup"], indent=2))
+    print(f"wrote {args.output}")
+
+
+if __name__ == "__main__":
+    main()

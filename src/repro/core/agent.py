@@ -558,7 +558,8 @@ class DsrAgent:
     def handle_unicast_failure(self, packet: Packet, next_hop: int) -> None:
         """Link-layer feedback: transmission to ``next_hop`` failed."""
         link: Link = (self.node_id, next_hop)
-        self._emit("dsr.link_break", link=link, pkt_kind=packet.kind.value)
+        if self._tracer.wants("dsr.link_break"):
+            self._emit("dsr.link_break", link=link, pkt_kind=packet.kind.value)
         self._absorb_link_break(link)
 
         error = RouteError(
@@ -717,7 +718,8 @@ class DsrAgent:
             self._broadcast_with_jitter(relayed)
 
     def _absorb_error(self, error: RouteError) -> None:
-        self._emit("dsr.rerr_recv", link=error.link)
+        if self._tracer.wants("dsr.rerr_recv"):
+            self._emit("dsr.rerr_recv", link=error.link)
         self._absorb_link_break(error.link)
 
     # ------------------------------------------------------------------
@@ -841,11 +843,12 @@ class DsrAgent:
     # ------------------------------------------------------------------
 
     def _drop(self, packet: Packet, reason: str) -> None:
-        self._emit(
-            "dsr.drop",
-            reason=reason,
-            pkt_kind=packet.kind.value,
-            uid=packet.uid,
-            src=packet.src,
-            dst=packet.dst,
-        )
+        if self._tracer.wants("dsr.drop"):
+            self._emit(
+                "dsr.drop",
+                reason=reason,
+                pkt_kind=packet.kind.value,
+                uid=packet.uid,
+                src=packet.src,
+                dst=packet.dst,
+            )

@@ -76,6 +76,10 @@ class DcfMac:
         self._tracer = tracer or Tracer()
         self.queue = InterfaceQueue(queue_capacity)
         radio.mac = self
+        # Tell the radio it can skip medium-change callbacks while we have
+        # no transmit attempt in flight (see Radio.mac_idle); kept exactly
+        # in sync with ``_current`` below.
+        radio.mac_idle = True
 
         # Upper-layer callbacks (wired by the node).
         self.deliver: Callable[[Packet], None] = lambda packet: None
@@ -110,7 +114,7 @@ class DcfMac:
         Returns False if the interface queue dropped it.
         """
         accepted = self.queue.push(packet, next_hop)
-        if not accepted:
+        if not accepted and self._tracer.wants("ifq.drop"):
             self._tracer.emit(
                 self._sim.now,
                 "ifq.drop",
@@ -133,6 +137,7 @@ class DcfMac:
             return
         self._seq += 1
         self._current = _Attempt(entry.packet, entry.next_hop, self._seq)
+        self._radio.mac_idle = False
         self._cw = self.timing.cw_min
         self._draw_backoff()
         self._begin_defer()
@@ -160,7 +165,10 @@ class DcfMac:
         self._defer_timer.start(self._defer_ifs + self._backoff_remaining)
 
     def _pause_defer(self) -> None:
-        if not self._defer_timer.running or self._defer_started is None:
+        # _defer_started is non-None exactly while the defer timer runs, and
+        # testing the attribute is far cheaper than Timer.running — this is
+        # called for every overheard NAV update.
+        if self._defer_started is None or not self._defer_timer.running:
             return
         elapsed = self._sim.now - self._defer_started
         consumed = max(0.0, elapsed - self._defer_ifs)
@@ -223,15 +231,16 @@ class DcfMac:
         self._transmit(frame, timing.data_airtime(attempt.packet.size_bytes()))
 
     def _transmit(self, frame: Frame, airtime: float) -> None:
-        pkt_kind = frame.packet.kind.value if frame.packet is not None else None
-        self._tracer.emit(
-            self._sim.now,
-            "mac.tx",
-            node=self.node_id,
-            frame_kind=frame.kind.value,
-            dst=frame.dst,
-            pkt_kind=pkt_kind,
-        )
+        if self._tracer.wants("mac.tx"):
+            pkt_kind = frame.packet.kind.value if frame.packet is not None else None
+            self._tracer.emit(
+                self._sim.now,
+                "mac.tx",
+                node=self.node_id,
+                frame_kind=frame.kind.value,
+                dst=frame.dst,
+                pkt_kind=pkt_kind,
+            )
         self._radio.transmit(frame, airtime)
 
     # ------------------------------------------------------------------
@@ -240,6 +249,12 @@ class DcfMac:
 
     def on_medium_change(self) -> None:
         """The radio's busy state (or the NAV) may have changed."""
+        if self._current is None:
+            # Nothing queued: the defer timer cannot be running (it is only
+            # armed while an attempt exists), so there is nothing to start or
+            # pause.  This is the common case — every transmission pings
+            # every carrier-sense neighbour, and most of them are idle.
+            return
         if self._medium_free():
             self._begin_defer()
         else:
@@ -273,7 +288,7 @@ class DcfMac:
         if frame.dst == self.node_id:
             self._on_frame_for_us(frame)
             return
-        if frame.is_broadcast:
+        if frame.dst == BROADCAST:
             if frame.kind is FrameKind.DATA and frame.packet is not None:
                 self.deliver(frame.packet)
             return
@@ -352,20 +367,22 @@ class DcfMac:
         attempt = self._current
         assert attempt is not None
         self._current = None
+        self._radio.mac_idle = True
         self._awaiting = None
         self._cw = self.timing.cw_min
         if attempt.next_hop != BROADCAST:
             if success:
                 self.on_unicast_success(attempt.packet, attempt.next_hop)
             else:
-                self._tracer.emit(
-                    self._sim.now,
-                    "mac.fail",
-                    node=self.node_id,
-                    next_hop=attempt.next_hop,
-                    pkt_kind=attempt.packet.kind.value,
-                    uid=attempt.packet.uid,
-                )
+                if self._tracer.wants("mac.fail"):
+                    self._tracer.emit(
+                        self._sim.now,
+                        "mac.fail",
+                        node=self.node_id,
+                        next_hop=attempt.next_hop,
+                        pkt_kind=attempt.packet.kind.value,
+                        uid=attempt.packet.uid,
+                    )
                 self.on_unicast_failure(attempt.packet, attempt.next_hop)
         self._try_start()
 

@@ -25,6 +25,8 @@ import re
 from pathlib import Path
 from typing import Dict, List, Tuple, Union
 
+import numpy as np
+
 from repro.errors import ConfigurationError
 from repro.mobility.base import MobilityModel
 from repro.mobility.trajectory import Segment, Trajectory
@@ -129,10 +131,14 @@ def export_ns2(
         lines.append(f"$node_({node_id}) set Y_ {y:.4f}")
         lines.append(f"$node_({node_id}) set Z_ 0.0000")
     times = [round(i * step, 6) for i in range(1, int(duration / step) + 1)]
+    sample_times = np.array([0.0] + times, dtype=np.float64)
     for node_id in mobility.node_ids:
-        prev_x, prev_y = mobility.position(node_id, 0.0)
-        for t in times:
-            x, y = mobility.position(node_id, t)
+        # One vectorized trajectory sweep per node instead of a bisect per
+        # sample; values are identical to per-call position().
+        samples = mobility.trajectory(node_id).positions_at(sample_times)
+        prev_x, prev_y = samples[0]
+        for i, t in enumerate(times, start=1):
+            x, y = samples[i]
             speed = math.hypot(x - prev_x, y - prev_y) / step
             if speed > 1e-6:
                 lines.append(

@@ -73,6 +73,21 @@ class ReferencePointGroupModel(MobilityModel):
         self.group_of = {
             node_id: node_id % num_groups for node_id in range(num_nodes)
         }
+        # Sample instants accumulate exactly as the per-step loop used to
+        # (t += step), so the trajectories are bit-identical to the old
+        # scalar construction for a given seed.
+        times: List[float] = [0.0]
+        t = 0.0
+        while t <= duration:
+            t = t + step
+            times.append(t)
+        times_array = np.array(times, dtype=np.float64)
+        # Each group's centre track is sampled once, vectorized, and shared
+        # by all members (the old code re-bisected it per member per step).
+        centre_samples = {
+            group: centres.trajectory(group).positions_at(times_array)
+            for group in range(num_groups)
+        }
         trajectories = {}
         for node_id in range(num_nodes):
             group = self.group_of[node_id]
@@ -80,36 +95,40 @@ class ReferencePointGroupModel(MobilityModel):
             radius = float(rng.uniform(0.0, group_radius))
             offset = (radius * math.cos(angle), radius * math.sin(angle))
             trajectories[node_id] = self._member_trajectory(
-                centres.trajectory(group), offset, deviation, duration, step, rng
+                centre_samples[group], times, offset, deviation, step, rng
             )
         super().__init__(trajectories)
 
     def _member_trajectory(
         self,
-        centre: Trajectory,
+        centre_xy: np.ndarray,
+        times: List[float],
         offset: tuple,
         deviation: float,
-        duration: float,
         step: float,
         rng: np.random.Generator,
     ) -> Trajectory:
-        segments: List[Segment] = []
-        t = 0.0
-        x, y = self._member_position(centre, offset, deviation, t, rng)
-        while t <= duration:
-            nt = t + step
-            nx, ny = self._member_position(centre, offset, deviation, nt, rng)
-            segments.append(
-                Segment(t0=t, x0=x, y0=y, vx=(nx - x) / step, vy=(ny - y) / step)
+        count = len(times)
+        if deviation > 0:
+            # One batched draw per member: numpy fills row-major, which is
+            # the same generator stream order as the old per-step scalar
+            # (dx, dy) pairs — identical deviations for identical seeds.
+            devs = rng.uniform(-deviation, deviation, size=(count, 2))
+        else:
+            devs = np.zeros((count, 2))
+        xs = np.clip((centre_xy[:, 0] + offset[0]) + devs[:, 0], 0.0, self.width)
+        ys = np.clip((centre_xy[:, 1] + offset[1]) + devs[:, 1], 0.0, self.height)
+        segments: List[Segment] = [
+            Segment(
+                t0=times[k],
+                x0=xs[k],
+                y0=ys[k],
+                vx=(xs[k + 1] - xs[k]) / step,
+                vy=(ys[k + 1] - ys[k]) / step,
             )
-            x, y, t = nx, ny, nt
-        segments.append(Segment(t0=t, x0=x, y0=y, vx=0.0, vy=0.0))
+            for k in range(count - 1)
+        ]
+        segments.append(
+            Segment(t0=times[-1], x0=xs[-1], y0=ys[-1], vx=0.0, vy=0.0)
+        )
         return Trajectory(segments)
-
-    def _member_position(self, centre, offset, deviation, t, rng):
-        cx, cy = centre.position(t)
-        dx = float(rng.uniform(-deviation, deviation)) if deviation > 0 else 0.0
-        dy = float(rng.uniform(-deviation, deviation)) if deviation > 0 else 0.0
-        x = min(max(cx + offset[0] + dx, 0.0), self.width)
-        y = min(max(cy + offset[1] + dy, 0.0), self.height)
-        return x, y

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.mobility.base import MobilityModel
 from repro.mobility.trajectory import Trajectory
@@ -17,6 +19,7 @@ class StaticModel(MobilityModel):
             for node_id, (x, y) in enumerate(positions)
         }
         super().__init__(trajectories)
+        self._static_positions: Optional[np.ndarray] = None
 
     @classmethod
     def from_mapping(cls, mapping: Dict[int, Tuple[float, float]]) -> "StaticModel":
@@ -25,4 +28,15 @@ class StaticModel(MobilityModel):
             model,
             {nid: Trajectory.stationary(x, y) for nid, (x, y) in mapping.items()},
         )
+        model._static_positions = None
         return model
+
+    def positions(self, t: float) -> np.ndarray:
+        """Time-independent fast path: the layout never changes, so the
+        batched query is a cached-array copy instead of segment evaluation."""
+        if self._static_positions is None:
+            self._static_positions = np.array(
+                [self.position(node_id, 0.0) for node_id in self.node_ids],
+                dtype=np.float64,
+            ).reshape(-1, 2)
+        return self._static_positions.copy()

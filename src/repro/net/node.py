@@ -92,20 +92,22 @@ class Node:
             born=self.sim.now,
             info=info,
         )
-        self.tracer.emit(
-            self.sim.now, "app.send", src=self.node_id, dst=dst, uid=packet.uid
-        )
+        if self.tracer.wants("app.send"):
+            self.tracer.emit(
+                self.sim.now, "app.send", src=self.node_id, dst=dst, uid=packet.uid
+            )
         self.agent.originate(packet)
         return packet
 
     def deliver_to_app(self, packet: Packet) -> None:
         """Called by the routing agent when a data packet reaches us."""
-        self.tracer.emit(
-            self.sim.now,
-            "app.recv",
-            src=packet.src,
-            dst=self.node_id,
-            uid=packet.uid,
-            born=packet.born,
-        )
+        if self.tracer.wants("app.recv"):
+            self.tracer.emit(
+                self.sim.now,
+                "app.recv",
+                src=packet.src,
+                dst=self.node_id,
+                uid=packet.uid,
+                born=packet.born,
+            )
         self.app_receive(packet)

@@ -63,6 +63,12 @@ class Channel:
         self._lossy = not isinstance(self._loss_model, NoLoss)
         self._rng = rng or np.random.default_rng(0)
         self.energy = energy
+        # Per-quantum delivery plans: sender -> [(radio, in_rx, distance)].
+        # Geometry is frozen within a neighbour-cache quantum, so the radio
+        # lookups and range tests for a sender can be done once per quantum
+        # instead of once per frame.
+        self._plans: Dict[int, List[tuple]] = {}
+        self._plans_tick = -1
 
     @property
     def neighbors(self) -> NeighborCache:
@@ -80,38 +86,77 @@ class Channel:
         """Put ``frame`` on the air for ``duration`` seconds."""
         now = self._sim.now
         tx = Transmission(sender.node_id, frame, now, now + duration)
-        self._tracer.emit(
-            now,
-            "phy.tx",
-            sender=sender.node_id,
-            frame_kind=frame.kind.value,
-            dst=frame.dst,
-            duration=duration,
-        )
+        if self._tracer.wants("phy.tx"):
+            self._tracer.emit(
+                now,
+                "phy.tx",
+                sender=sender.node_id,
+                frame_kind=frame.kind.value,
+                dst=frame.dst,
+                duration=duration,
+            )
         sender.begin_transmit(tx)
-        rx_set = set(self._neighbors.rx_neighbors(sender.node_id, now))
-        touched: List["Radio"] = []
-        for node_id in self._neighbors.cs_neighbors(sender.node_id, now):
-            radio = self._radios.get(node_id)
-            if radio is None:
-                continue
-            receivable = node_id in rx_set
-            if receivable and self._lossy:
-                distance = self._neighbors.distance(sender.node_id, node_id, now)
-                receivable = self._loss_model.delivered(distance, self._rng)
-            radio.energy_start(tx, receivable=receivable)
-            touched.append(radio)
-            if self.energy is not None:
-                self.energy.charge_rx(node_id, duration)
-        if self.energy is not None:
-            self.energy.charge_tx(sender.node_id, duration)
-        self._sim.schedule(duration, self._finish, tx, sender, touched)
+        plan = self._plan_for(sender.node_id, now)
+        energy = self.energy
+        if self._lossy:
+            loss_model = self._loss_model
+            rng = self._rng
+            for radio, in_rx, distance in plan:
+                # Short-circuit keeps the RNG draw order identical to the
+                # unmemoised loop: one draw per in-range listener, in
+                # carrier-sense neighbour order.
+                radio.energy_start(tx, in_rx and loss_model.delivered(distance, rng))
+                if energy is not None:
+                    energy.charge_rx(radio.node_id, duration)
+        elif energy is not None:
+            for radio, in_rx, _distance in plan:
+                radio.energy_start(tx, in_rx)
+                energy.charge_rx(radio.node_id, duration)
+        else:
+            # The common configuration (disk propagation, no energy model):
+            # nothing in the loop but the energy_start calls themselves.
+            for radio, in_rx, _distance in plan:
+                radio.energy_start(tx, in_rx)
+        if energy is not None:
+            energy.charge_tx(sender.node_id, duration)
+        self._sim.schedule(duration, self._finish, tx, sender, plan)
 
-    def _finish(
-        self, tx: Transmission, sender: "Radio", touched: List["Radio"]
-    ) -> None:
+    def _plan_for(self, sender_id: int, now: float) -> List[tuple]:
+        """The sender's listeners for the current quantum.
+
+        Each entry is ``(radio, in_rx, distance)``; ``distance`` is only
+        computed when a loss model needs it.  Plan lists are replaced (never
+        mutated) on quantum change, so an in-flight :meth:`_finish` holding a
+        stale plan still sees the listeners its frame actually reached.
+        """
+        neighbors = self._neighbors
+        tick = neighbors.tick(now)
+        if tick != self._plans_tick:
+            self._plans.clear()
+            self._plans_tick = tick
+        plan = self._plans.get(sender_id)
+        if plan is None:
+            rx_set = neighbors.rx_set(sender_id, now)
+            radios = self._radios
+            lossy = self._lossy
+            plan = []
+            for node_id in neighbors.cs_neighbors(sender_id, now):
+                radio = radios.get(node_id)
+                if radio is None:
+                    continue
+                in_rx = node_id in rx_set
+                distance = (
+                    neighbors.distance(sender_id, node_id, now)
+                    if (in_rx and lossy)
+                    else 0.0
+                )
+                plan.append((radio, in_rx, distance))
+            self._plans[sender_id] = plan
+        return plan
+
+    def _finish(self, tx: Transmission, sender: "Radio", plan: List[tuple]) -> None:
         # End energy at listeners first so the sender's completion callback
         # observes a consistent medium.
-        for radio in touched:
-            radio.energy_end(tx)
+        for entry in plan:
+            entry[0].energy_end(tx)
         sender.end_transmit(tx)

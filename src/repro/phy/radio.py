@@ -14,7 +14,7 @@ The MAC attaches via three callbacks:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.errors import SimulationError
 from repro.phy.channel import Channel, Transmission
@@ -22,13 +22,14 @@ from repro.phy.channel import Channel, Transmission
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mac.frames import Frame
 
-
-class _Reception:
-    __slots__ = ("receivable", "corrupt")
-
-    def __init__(self, receivable: bool, corrupt: bool):
-        self.receivable = receivable
-        self.corrupt = corrupt
+# A reception in progress is a mutable [receivable, corrupt] pair.  A bare
+# list beats a (slotted) class here: receptions are created and destroyed
+# once per heard frame per listener — the hottest allocation site in the
+# whole simulator.  Only *decodable* frames get an entry; carrier-sense-only
+# energy (out of receive range) is a bare counter, since its corrupt flag
+# could never be read.
+_RECEIVABLE = 0
+_CORRUPT = 1
 
 
 class Radio:
@@ -38,8 +39,15 @@ class Radio:
         self.node_id = node_id
         self._channel = channel
         self.mac = None  # set by the MAC layer during stack wiring
+        # Maintained by the MAC: True only when it provably ignores medium
+        # transitions (no transmit attempt in progress).  The default False
+        # means "always notify", which keeps custom/test MACs correct without
+        # them knowing the flag exists.  Most energy transitions happen at
+        # idle bystanders, so skipping the callback here is a real win.
+        self.mac_idle = False
         self._transmitting: Optional[Transmission] = None
-        self._receptions: Dict[Transmission, _Reception] = {}
+        self._receptions: Dict[Transmission, List[bool]] = {}
+        self._cs_energy = 0  # in-flight transmissions heard but not decodable
         channel.attach(self)
 
     # -- state queries -----------------------------------------------------
@@ -47,7 +55,11 @@ class Radio:
     @property
     def busy(self) -> bool:
         """Physical carrier sense: energy on the air or transmitting."""
-        return self._transmitting is not None or bool(self._receptions)
+        return (
+            self._transmitting is not None
+            or bool(self._receptions)
+            or self._cs_energy > 0
+        )
 
     @property
     def transmitting(self) -> bool:
@@ -67,41 +79,70 @@ class Radio:
         self._transmitting = tx
         # Half duplex: anything we were receiving is lost.
         for reception in self._receptions.values():
-            reception.corrupt = True
-        if self.mac is not None:
+            reception[_CORRUPT] = True
+        if self.mac is not None and not self.mac_idle:
             self.mac.on_medium_change()
 
     def end_transmit(self, tx: Transmission) -> None:
         self._transmitting = None
         if self.mac is not None:
-            self.mac.on_medium_change()
+            if not self.mac_idle:
+                self.mac.on_medium_change()
             self.mac.on_tx_complete(tx.frame)
 
     # -- receive path ------------------------------------------------------
 
     def energy_start(self, tx: Transmission, receivable: bool) -> None:
-        corrupt = bool(self._receptions) or self._transmitting is not None
-        if corrupt:
-            for reception in self._receptions.values():
-                reception.corrupt = True
-        was_clear = not self.busy
-        self._receptions[tx] = _Reception(receivable, corrupt)
-        if was_clear and self.mac is not None:
+        # `busy` doubles as the new reception's corrupt flag: energy from a
+        # second source corrupts, and its absence means we were clear.
+        receptions = self._receptions
+        busy = (
+            bool(receptions)
+            or self._cs_energy > 0
+            or self._transmitting is not None
+        )
+        if busy:
+            for reception in receptions.values():
+                reception[_CORRUPT] = True
+        if receivable:
+            receptions[tx] = [True, busy]
+        else:
+            self._cs_energy += 1
+        if not busy and self.mac is not None and not self.mac_idle:
             self.mac.on_medium_change()
 
     def energy_end(self, tx: Transmission) -> None:
         reception = self._receptions.pop(tx, None)
-        if reception is None:  # pragma: no cover - defensive
+        if reception is None:
+            # Carrier-sense-only energy: no decode outcome to deliver, just
+            # the possible busy -> free transition.
+            if self._cs_energy > 0:
+                self._cs_energy -= 1
+                if (
+                    not self.mac_idle
+                    and self._cs_energy == 0
+                    and not self._receptions
+                    and self._transmitting is None
+                    and self.mac is not None
+                ):
+                    self.mac.on_medium_change()
             return
-        if self.mac is None:
+        mac = self.mac
+        if mac is None:
             return
-        if reception.receivable and reception.corrupt:
+        receivable, corrupt = reception
+        if receivable and corrupt:
             # A decodable frame was ruined (collision / half duplex): the
             # MAC may apply EIFS deference.
-            on_corrupt = getattr(self.mac, "on_corrupt_frame", None)
+            on_corrupt = getattr(mac, "on_corrupt_frame", None)
             if on_corrupt is not None:
                 on_corrupt()
-        if not self.busy:
-            self.mac.on_medium_change()
-        if reception.receivable and not reception.corrupt:
-            self.mac.on_frame(tx.frame)
+        if (
+            not self.mac_idle
+            and not self._receptions
+            and self._cs_energy == 0
+            and self._transmitting is None
+        ):
+            mac.on_medium_change()
+        if receivable and not corrupt:
+            mac.on_frame(tx.frame)

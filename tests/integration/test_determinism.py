@@ -22,3 +22,37 @@ def test_protocol_change_preserves_offered_traffic():
     base = run_scenario(tiny_scenario(dsr=DsrConfig.base(), seed=11))
     best = run_scenario(tiny_scenario(dsr=DsrConfig.all_techniques(), seed=11))
     assert base.data_sent == best.data_sent
+
+
+def test_golden_pause0_metrics_regression():
+    """Pin the continuous-motion (pause 0) scenario to golden metrics.
+
+    These values were captured from the pre-optimisation simulator; the
+    vectorized mobility/PHY hot path and the compacting event engine are
+    required to reproduce them *bit-identically* — any drift means an
+    optimisation changed behaviour, not just speed.
+    """
+    result = run_scenario(tiny_scenario(seed=11, pause_time=0.0))
+    assert result.data_sent == 282
+    assert result.data_received == 282
+    assert result.delay_sum == 1.4021800765732906
+    assert result.mac_control_tx == 1183
+    assert result.routing_tx == 39
+    assert result.data_tx == 365
+    assert result.mac_failures == 2
+    assert result.rreq_sent == 5
+    assert result.replies_received == 19
+    assert result.good_replies == 19
+    assert result.cache_replies_received == 12
+    assert result.replies_sent_from_cache == 12
+    assert result.replies_sent_from_target == 4
+    assert result.cache_hits == 295
+    assert result.invalid_cache_hits == 1
+    assert result.link_breaks == 2
+    assert result.drop_reasons == {"control-tx-failed": 1}
+    assert result.throughput_kbps == 28.876799999999996
+    assert result.offered_load_kbps == 32.768
+    assert result.duplicate_deliveries == 0
+    assert result.ifq_drops == 0
+    assert result.salvages == 0
+    assert result.duration == 40.0

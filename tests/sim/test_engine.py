@@ -125,3 +125,69 @@ def test_zero_delay_event_fires_at_current_time():
     sim.schedule(0.0, lambda: seen.append(sim.now))
     sim.run()
     assert seen == [1.0]
+
+
+def test_compaction_purges_cancelled_events():
+    sim = Simulator(compact_min_heap=16, compact_ratio=0.5)
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(100)]
+    for event in events[:80]:
+        event.cancel()
+    stats = sim.stats()
+    assert stats.compactions >= 1
+    assert stats.pending_cancelled < 0.5 * max(stats.pending, 1)
+    assert stats.pending < 100  # garbage actually left the heap
+    assert sim.run() == 20
+
+
+def test_compaction_preserves_execution_order():
+    """Compacting mid-run must not reorder the surviving events."""
+    sim = Simulator(compact_min_heap=8, compact_ratio=0.25)
+    fired = []
+    for i in range(0, 100, 2):
+        sim.schedule(float(i), fired.append, i)
+    doomed = [sim.schedule(float(i), fired.append, i) for i in range(1, 100, 2)]
+    # Cancel from inside the run, so compaction interleaves with execution.
+    sim.schedule(0.5, lambda: [event.cancel() for event in doomed])
+    sim.run()
+    assert fired == list(range(0, 100, 2))
+    assert sim.stats().compactions >= 1
+
+
+def test_compaction_is_transparent_to_results():
+    """Same workload, compaction on vs effectively off: same outcome."""
+
+    def churn(sim):
+        fired = []
+        for i in range(500):
+            sim.schedule(float(i), fired.append, i)
+            victim = sim.schedule(float(i) + 0.25, fired.append, -i)
+            victim.cancel()
+        sim.run()
+        return fired
+
+    eager = churn(Simulator(compact_min_heap=4, compact_ratio=0.01))
+    lazy = churn(Simulator(compact_min_heap=10**9))
+    assert eager == lazy == list(range(500))
+
+
+def test_stats_counters():
+    sim = Simulator(compact_min_heap=10**9)  # keep compaction out of the way
+    sim.schedule(1.0, lambda: None)
+    victim = sim.schedule(2.0, lambda: None)
+    victim.cancel()
+    victim.cancel()  # idempotent: must not double-count
+    sim.run()
+    stats = sim.stats()
+    assert stats.executed == 1
+    assert stats.cancelled == 1
+    assert stats.skipped == 1
+    assert stats.compactions == 0
+    assert stats.pending == 0
+    assert stats.pending_cancelled == 0
+
+
+def test_invalid_compact_ratio_rejected():
+    with pytest.raises(SimulationError):
+        Simulator(compact_ratio=0.0)
+    with pytest.raises(SimulationError):
+        Simulator(compact_ratio=1.5)
