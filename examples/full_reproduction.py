@@ -7,6 +7,7 @@
 """
 
 import argparse
+import os
 import sys
 
 from repro.paper import reproduce
@@ -17,6 +18,22 @@ def main() -> None:
     parser.add_argument("--scale", choices=("quick", "scaled", "paper"), default="quick")
     parser.add_argument("--seeds", default="1,2", help="comma-separated seeds")
     parser.add_argument("--out", default="reproduction_report.md")
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=os.cpu_count(),
+        help="worker processes for the sweep engine (1 = in-process)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=".sweep-cache",
+        help="result cache directory; re-runs only simulate changed points",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="always simulate (ignore --cache-dir)",
+    )
     args = parser.parse_args()
 
     seeds = [int(chunk) for chunk in args.seeds.split(",") if chunk.strip()]
@@ -24,7 +41,10 @@ def main() -> None:
         scale=args.scale,
         seeds=seeds,
         progress=lambda message: print(f"... {message}", file=sys.stderr),
+        processes=args.processes,
+        cache_dir=None if args.no_cache else args.cache_dir,
     )
+    print(f"... sweep engine: {report.sweep_stats}", file=sys.stderr)
     markdown = report.to_markdown()
     with open(args.out, "w") as handle:
         handle.write(markdown + "\n")

@@ -7,7 +7,15 @@ from repro.analysis.series import SweepPoint, compare_variants, sweep
 from repro.analysis.tables import format_table, format_series
 from repro.analysis.plot import render_chart, render_sweep
 from repro.analysis.export import result_to_json, sweep_to_csv, table_to_csv
-from repro.analysis.runner import parallel_sweep, run_many
+from repro.analysis.cache import CacheStats, ResultCache, scenario_hash
+from repro.analysis.runner import (
+    ProgressUpdate,
+    RunReport,
+    SweepEngine,
+    SweepExecutionError,
+    parallel_sweep,
+    run_many,
+)
 from repro.analysis.compare import Comparison, compare, compare_results
 from repro.analysis.netmap import render_topology
 from repro.analysis.topology import (
@@ -33,6 +41,13 @@ __all__ = [
     "table_to_csv",
     "run_many",
     "parallel_sweep",
+    "CacheStats",
+    "ResultCache",
+    "scenario_hash",
+    "SweepEngine",
+    "SweepExecutionError",
+    "RunReport",
+    "ProgressUpdate",
     "compare",
     "compare_results",
     "Comparison",

@@ -1,0 +1,146 @@
+"""Content-addressed result cache for sweep execution.
+
+A figure is a grid of deterministic simulations, and most iterations of a
+figure re-run points that have not changed.  This module keys every run by
+a canonical hash of its complete :class:`ScenarioConfig` and persists the
+resulting :class:`SimulationResult` to disk, so re-running a figure only
+simulates new or changed points.
+
+Key design:
+
+* the key is ``sha256("v<FORMAT>:" + canonical_json(scenario))`` where the
+  canonical encoding is sorted-key compact JSON of the full config
+  (:func:`repro.scenarios.io.scenario_canonical_json`) — insensitive to
+  dict key order, sensitive to every field of ``ScenarioConfig`` and the
+  nested ``DsrConfig`` including the seed;
+* ``CACHE_FORMAT_VERSION`` is folded into the hash *and* stored in each
+  entry, so bumping it (new result fields, changed simulation semantics)
+  orphans the whole store rather than serving stale results;
+* entries that fail to load (truncated files, foreign versions, unknown
+  fields after a refactor) are invalidated — deleted and recounted as
+  misses, never returned.
+
+The store layout is ``<root>/<key[:2]>/<key>.json`` (git-object style
+fan-out) and writes go through a temp file + ``os.replace`` so a crashed
+worker can never leave a half-written entry that later loads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from repro.metrics.collector import SimulationResult
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.io import scenario_canonical_json
+
+PathLike = Union[str, Path]
+
+#: Bump when the result record or simulation semantics change in a way that
+#: makes previously cached results wrong to reuse.
+CACHE_FORMAT_VERSION = 1
+
+
+def scenario_hash(config: Union[ScenarioConfig, Dict[str, Any]]) -> str:
+    """Content hash identifying one simulation run (config + format version).
+
+    Accepts either a :class:`ScenarioConfig` or its
+    :func:`~repro.scenarios.io.scenario_to_dict` payload; both produce the
+    same key.
+    """
+    canonical = scenario_canonical_json(config)
+    material = f"v{CACHE_FORMAT_VERSION}:{canonical}"
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+def result_to_payload(result: SimulationResult) -> Dict[str, Any]:
+    """A plain-JSON-types dict capturing the full result record."""
+    return dataclasses.asdict(result)
+
+
+def result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
+    """Inverse of :func:`result_to_payload` (unknown keys are rejected by
+    the dataclass constructor, which is exactly what invalidation wants)."""
+    return SimulationResult(**payload)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/invalidation accounting for one :class:`ResultCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalidated: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class ResultCache:
+    """On-disk content-addressed store of :class:`SimulationResult` records."""
+
+    def __init__(self, root: PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        """The cached result for ``key``, or ``None`` (counted as a miss).
+
+        Unreadable or foreign-version entries are deleted and counted under
+        ``stats.invalidated`` in addition to the miss.
+        """
+        path = self._path(key)
+        try:
+            payload = json.loads(path.read_text())
+            if payload.get("format_version") != CACHE_FORMAT_VERSION:
+                raise ValueError(f"format version {payload.get('format_version')}")
+            result = result_from_payload(payload["result"])
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except Exception:
+            path.unlink(missing_ok=True)
+            self.stats.invalidated += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> Path:
+        """Persist ``result`` under ``key`` (atomic: temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {
+            "format_version": CACHE_FORMAT_VERSION,
+            "scenario_hash": key,
+            "result": result_to_payload(result),
+        }
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(entry, sort_keys=True))
+        os.replace(tmp, path)
+        self.stats.stores += 1
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self._path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,45 +1,364 @@
-"""Parallel experiment execution.
+"""Sweep execution engine: parallel, incremental, load-balanced.
 
-A figure is dozens of independent simulations; this runner fans them out
-over worker processes.  Configurations travel as JSON dicts (see
-:mod:`repro.scenarios.io`) so workers rebuild everything from scratch —
-no shared state, perfectly reproducible.
+A figure is dozens of independent simulations; :class:`SweepEngine` fans
+them out over worker processes and skips the ones it has already run.
+Configurations travel as JSON dicts (see :mod:`repro.scenarios.io`) so
+workers rebuild everything from scratch — no shared state, perfectly
+reproducible — and every run is identified by its content hash
+(:func:`repro.analysis.cache.scenario_hash`).
+
+Execution pipeline, identical for in-process (``processes=1``) and pooled
+modes — the only thing that differs is which map drains the task list:
+
+1. every config becomes an indexed ``(key, payload)`` task;
+2. keys already resolved (session memo, then on-disk cache) short-circuit;
+3. duplicate keys within the batch collapse to one simulation;
+4. remaining tasks are ordered longest-job-first (low-pause / high-load
+   scenarios dominate wall time, so they must start early) and drained via
+   ``imap_unordered`` for pool load balancing;
+5. a task whose worker raises or dies is retried in the parent process, a
+   bounded number of times; failures that survive the retries raise
+   :class:`SweepExecutionError` — never silently dropped;
+6. results are written back by original index, so aggregation order is
+   byte-identical to the serial :func:`repro.analysis.series.sweep` path.
 """
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
-from typing import Callable, Dict, List, Optional, Sequence
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.analysis.series import SweepPoint
-from repro.analysis.stats import aggregate
+from repro.analysis.cache import CacheStats, ResultCache, scenario_hash
+from repro.analysis.series import (
+    SweepPoint,
+    points_from_results,
+    sweep,
+    compare_variants as _compare_variants,
+)
+from repro.analysis.stats import Aggregate
 from repro.metrics.collector import SimulationResult
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.io import scenario_from_dict, scenario_to_dict
 
+TaskFn = Callable[[dict], SimulationResult]
+
 
 def _run_payload(payload: dict) -> SimulationResult:
+    """The unit of work: rebuild the scenario and simulate it."""
     from repro.scenarios.builder import run_scenario
 
     return run_scenario(scenario_from_dict(payload))
 
 
+def _guarded(task_fn: TaskFn, task: Tuple[str, dict]) -> Tuple[str, Optional[SimulationResult], Optional[str]]:
+    """Run one task, returning errors as data so a bad payload cannot break
+    the pool's result iterator."""
+    key, payload = task
+    try:
+        return key, task_fn(payload), None
+    except Exception as exc:  # surfaced to the parent, retried there
+        return key, None, f"{type(exc).__name__}: {exc}"
+
+
+def estimate_cost(payload: dict) -> float:
+    """Relative wall-time estimate used for longest-job-first ordering.
+
+    Event volume scales with offered traffic (sessions x rate x duration)
+    and with topology churn: per-quantum neighbour work is ~quadratic in
+    node count, and continuous motion (pause 0) roughly doubles routing
+    traffic versus a static network.  Only the *ordering* matters, so the
+    constants are coarse.
+    """
+    nodes = float(payload.get("num_nodes", 2))
+    duration = float(payload.get("duration", 0.0))
+    load = float(payload.get("num_sessions", 0)) * float(payload.get("packet_rate", 1.0))
+    pause = min(float(payload.get("pause_time", 0.0)), duration)
+    mobility = 2.0 - (pause / duration if duration > 0 else 1.0)
+    return duration * (0.01 * nodes * nodes + load) * mobility
+
+
+class SweepExecutionError(RuntimeError):
+    """One or more sweep tasks failed every attempt."""
+
+    def __init__(self, failures: Dict[str, str]):
+        self.failures = dict(failures)
+        detail = "; ".join(
+            f"{key[:12]}…: {err}" for key, err in sorted(self.failures.items())
+        )
+        super().__init__(
+            f"{len(self.failures)} sweep task(s) failed after retries: {detail}"
+        )
+
+
+@dataclass(frozen=True)
+class ProgressUpdate:
+    """Snapshot passed to the progress callback after every completion."""
+
+    total: int  # configs in this batch
+    completed: int  # configs resolved so far (cached + simulated)
+    executed: int  # simulations actually run so far
+    cached: int  # configs served from memo/disk cache
+    deduped: int  # configs sharing another config's simulation
+    running: int  # upper bound on simulations in flight
+    retries: int  # retry attempts performed so far
+    elapsed_s: float
+    eta_s: Optional[float]  # None until one simulation has finished
+
+
+ProgressFn = Callable[[ProgressUpdate], None]
+
+
+@dataclass
+class RunReport:
+    """Results plus the accounting for one :meth:`SweepEngine.run` batch."""
+
+    results: List[SimulationResult]
+    total: int
+    executed: int
+    cache_hits: int
+    deduped: int
+    retries: int
+    wall_s: float
+    cache_stats: Optional[CacheStats] = None
+    failures: Dict[str, str] = field(default_factory=dict)
+
+
+class SweepEngine:
+    """Executes batches of scenario configs with caching and parallelism.
+
+    One engine should live for a whole figure (or a whole paper
+    reproduction): its in-memory memo dedupes identical points *across*
+    batches — e.g. the pause-0 runs that Figure 2, Table 3 and Figure 4
+    share — while the optional :class:`ResultCache` makes the dedup
+    survive process restarts.
+    """
+
+    def __init__(
+        self,
+        processes: Optional[int] = None,
+        cache: Optional[ResultCache] = None,
+        retries: int = 1,
+        progress: Optional[ProgressFn] = None,
+        task_fn: Optional[TaskFn] = None,
+    ):
+        self.processes = processes
+        self.cache = cache
+        self.retries = max(0, retries)
+        self.progress = progress
+        self._task_fn = task_fn or _run_payload
+        self._memo: Dict[str, SimulationResult] = {}
+        # Accumulated across run() calls, for end-of-session reporting.
+        self.total_executed = 0
+        self.total_cache_hits = 0
+        self.total_deduped = 0
+        self.total_retries = 0
+
+    @classmethod
+    def create(
+        cls,
+        processes: Optional[int] = None,
+        cache_dir: Optional[os.PathLike] = None,
+        **kwargs,
+    ) -> "SweepEngine":
+        """Engine with an on-disk cache when ``cache_dir`` is given."""
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        return cls(processes=processes, cache=cache, **kwargs)
+
+    # -- execution ---------------------------------------------------------
+
+    def run(self, configs: Sequence[ScenarioConfig]) -> RunReport:
+        """Run every configuration, in order; see the module docstring for
+        the pipeline."""
+        start = time.perf_counter()
+        payloads = [scenario_to_dict(config) for config in configs]
+        keys = [scenario_hash(payload) for payload in payloads]
+
+        results: List[Optional[SimulationResult]] = [None] * len(payloads)
+        pending: Dict[str, List[int]] = {}
+        cache_hits = 0
+        for index, key in enumerate(keys):
+            if key not in self._memo and self.cache is not None:
+                cached = self.cache.get(key)
+                if cached is not None:
+                    self._memo[key] = cached
+                    cache_hits += 1
+            if key in self._memo:
+                results[index] = self._memo[key]
+            else:
+                pending.setdefault(key, []).append(index)
+        # In-batch duplicates beyond cache hits: indices sharing a pending
+        # key, plus memo hits from *previous* batches of this engine.
+        resolved = len(payloads) - sum(len(v) for v in pending.values())
+        deduped = (resolved - cache_hits) + sum(
+            len(v) - 1 for v in pending.values()
+        )
+
+        tasks = sorted(
+            ((key, payloads[indices[0]]) for key, indices in pending.items()),
+            key=lambda task: estimate_cost(task[1]),
+            reverse=True,
+        )
+
+        executed = 0
+        retries = 0
+        failures: Dict[str, str] = {}
+        processes = self._resolve_processes(len(tasks))
+
+        def note_progress() -> None:
+            if self.progress is None:
+                return
+            completed = sum(1 for r in results if r is not None)
+            elapsed = time.perf_counter() - start
+            remaining = len(tasks) - executed - len(failures)
+            eta = None
+            if executed:
+                per_task = elapsed / executed
+                eta = per_task * remaining / max(1, min(processes, remaining))
+            self.progress(
+                ProgressUpdate(
+                    total=len(payloads),
+                    completed=completed,
+                    executed=executed,
+                    cached=resolved,
+                    deduped=deduped,
+                    running=min(processes, max(0, remaining)),
+                    retries=retries,
+                    elapsed_s=elapsed,
+                    eta_s=eta,
+                )
+            )
+
+        def settle(key: str, result: SimulationResult) -> None:
+            self._memo[key] = result
+            if self.cache is not None:
+                self.cache.put(key, result)
+            for index in pending[key]:
+                results[index] = result
+
+        note_progress()
+        for key, result, error in self._completions(tasks, processes):
+            if error is not None:
+                failures[key] = error
+            else:
+                executed += 1
+                settle(key, result)
+            note_progress()
+
+        # Bounded in-parent retry of everything that failed, whatever the
+        # cause (worker exception or crash) — deterministic and unaffected
+        # by pool state.
+        guarded = functools.partial(_guarded, self._task_fn)
+        for _attempt in range(self.retries):
+            if not failures:
+                break
+            retry_tasks = [(key, payloads[pending[key][0]]) for key in failures]
+            failures = {}
+            for task in retry_tasks:
+                retries += 1
+                key, result, error = guarded(task)
+                if error is not None:
+                    failures[key] = error
+                else:
+                    executed += 1
+                    settle(key, result)
+                note_progress()
+        if failures:
+            raise SweepExecutionError(failures)
+
+        self.total_executed += executed
+        self.total_cache_hits += cache_hits
+        self.total_deduped += deduped
+        self.total_retries += retries
+        return RunReport(
+            results=list(results),  # type: ignore[arg-type]  # all settled
+            total=len(payloads),
+            executed=executed,
+            cache_hits=cache_hits,
+            deduped=deduped,
+            retries=retries,
+            wall_s=time.perf_counter() - start,
+            cache_stats=self.cache.stats if self.cache is not None else None,
+        )
+
+    def run_results(self, configs: Sequence[ScenarioConfig]) -> List[SimulationResult]:
+        """Just the results, in config order (the :data:`RunnerFn` shape)."""
+        return self.run(configs).results
+
+    def _resolve_processes(self, n_tasks: int) -> int:
+        processes = self.processes or multiprocessing.cpu_count()
+        return max(1, min(processes, n_tasks))
+
+    def _completions(
+        self, tasks: List[Tuple[str, dict]], processes: int
+    ) -> Iterable[Tuple[str, Optional[SimulationResult], Optional[str]]]:
+        """Drain tasks, yielding ``(key, result, error)`` as they finish.
+
+        Both branches consume the same longest-job-first task list through
+        the same guarded wrapper; pooled mode merely overlaps them.
+        """
+        guarded = functools.partial(_guarded, self._task_fn)
+        if processes <= 1 or len(tasks) <= 1:
+            for task in tasks:
+                yield guarded(task)
+            return
+        context = multiprocessing.get_context("spawn")
+        with context.Pool(processes=processes) as pool:
+            yield from pool.imap_unordered(guarded, tasks)
+
+    # -- figure-shaped conveniences ---------------------------------------
+
+    def sweep(
+        self,
+        make_config: Callable[[float, int], ScenarioConfig],
+        xs: Sequence[float],
+        seeds: Sequence[int],
+        label: Callable[[float], str] = lambda x: f"{x:g}",
+    ) -> List[SweepPoint]:
+        """Engine-backed :func:`repro.analysis.series.sweep`."""
+        return sweep(make_config, xs, seeds, label=label, runner=self.run_results)
+
+    def compare_variants(
+        self,
+        variants: Dict[str, Callable[[int], ScenarioConfig]],
+        seeds: Sequence[int],
+    ) -> Dict[str, Aggregate]:
+        """Engine-backed :func:`repro.analysis.series.compare_variants`."""
+        return _compare_variants(variants, seeds, runner=self.run_results)
+
+    def session_stats(self) -> Dict[str, int]:
+        """Accumulated executed/cached/deduped counts across run() calls."""
+        return {
+            "executed": self.total_executed,
+            "cache_hits": self.total_cache_hits,
+            "deduped": self.total_deduped,
+            "retries": self.total_retries,
+        }
+
+
+# -- module-level conveniences (historic API, now engine-backed) -----------
+
+
 def run_many(
     configs: Sequence[ScenarioConfig],
     processes: Optional[int] = None,
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
+    retries: int = 1,
 ) -> List[SimulationResult]:
     """Run every configuration, in order, across worker processes.
 
-    ``processes=1`` (or a single config) degrades to in-process execution,
-    which keeps debugging and coverage runs simple.
+    ``processes=1`` (or a single config) degrades to in-process execution
+    through the *same* indexed pipeline — caching, dedup and result order
+    are identical in both modes.
     """
-    payloads = [scenario_to_dict(config) for config in configs]
-    if processes == 1 or len(payloads) <= 1:
-        return [_run_payload(payload) for payload in payloads]
-    processes = processes or min(len(payloads), multiprocessing.cpu_count())
-    context = multiprocessing.get_context("spawn")
-    with context.Pool(processes=processes) as pool:
-        return pool.map(_run_payload, payloads)
+    engine = SweepEngine(
+        processes=processes, cache=cache, progress=progress, retries=retries
+    )
+    return engine.run_results(configs)
 
 
 def parallel_sweep(
@@ -48,15 +367,10 @@ def parallel_sweep(
     seeds: Sequence[int],
     processes: Optional[int] = None,
     label: Callable[[float], str] = lambda x: f"{x:g}",
+    cache: Optional[ResultCache] = None,
+    progress: Optional[ProgressFn] = None,
 ) -> List[SweepPoint]:
-    """Parallel equivalent of :func:`repro.analysis.series.sweep`."""
-    grid = [(x, seed) for x in xs for seed in seeds]
-    results = run_many(
-        [make_config(x, seed) for x, seed in grid], processes=processes
-    )
-    by_x: Dict[float, List[SimulationResult]] = {x: [] for x in xs}
-    for (x, _seed), result in zip(grid, results):
-        by_x[x].append(result)
-    return [
-        SweepPoint(x=x, label=label(x), aggregate=aggregate(by_x[x])) for x in xs
-    ]
+    """Parallel (and optionally cached) equivalent of
+    :func:`repro.analysis.series.sweep`."""
+    engine = SweepEngine(processes=processes, cache=cache, progress=progress)
+    return engine.sweep(make_config, xs, seeds, label=label)

@@ -1,15 +1,26 @@
 """Parameter sweeps: run a scenario family over an axis, multiple seeds per
 point, and collect aggregated metrics — the shape of every figure in the
-paper's evaluation."""
+paper's evaluation.
+
+The grid construction and per-point aggregation live in
+:func:`sweep_grid` / :func:`points_from_results` so that the serial path
+here and the parallel/cached path in :mod:`repro.analysis.runner` are the
+*same* code operating on the same flat ``(x, seed)`` order — the two modes
+cannot drift apart in aggregation order.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.stats import Aggregate, aggregate
+from repro.metrics.collector import SimulationResult
 from repro.scenarios.builder import run_scenario
 from repro.scenarios.config import ScenarioConfig
+
+#: Runs every configuration, in order, and returns one result each.
+RunnerFn = Callable[[Sequence[ScenarioConfig]], List[SimulationResult]]
 
 
 @dataclass(frozen=True)
@@ -24,33 +35,65 @@ class SweepPoint:
         return self.aggregate.means[name]
 
 
+def sweep_grid(
+    xs: Sequence[float], seeds: Sequence[int]
+) -> List[Tuple[float, int]]:
+    """The flat ``(x, seed)`` evaluation order every sweep mode shares."""
+    return [(x, seed) for x in xs for seed in seeds]
+
+
+def points_from_results(
+    xs: Sequence[float],
+    grid: Sequence[Tuple[float, int]],
+    results: Sequence[SimulationResult],
+    label: Callable[[float], str],
+) -> List[SweepPoint]:
+    """Fold flat grid-ordered results back into per-x aggregates."""
+    by_x: Dict[float, List[SimulationResult]] = {x: [] for x in xs}
+    for (x, _seed), result in zip(grid, results):
+        by_x[x].append(result)
+    return [
+        SweepPoint(x=x, label=label(x), aggregate=aggregate(by_x[x])) for x in xs
+    ]
+
+
+def _serial_runner(configs: Sequence[ScenarioConfig]) -> List[SimulationResult]:
+    return [run_scenario(config) for config in configs]
+
+
 def sweep(
     make_config: Callable[[float, int], ScenarioConfig],
     xs: Sequence[float],
     seeds: Sequence[int],
     label: Callable[[float], str] = lambda x: f"{x:g}",
+    runner: Optional[RunnerFn] = None,
 ) -> List[SweepPoint]:
     """Run ``make_config(x, seed)`` for every (x, seed) pair.
 
     Seeds vary the mobility scenario while the traffic pattern stays tied
     to the seed stream, mirroring the paper's "identical traffic models,
     different randomly generated mobility scenarios".
+
+    ``runner`` swaps the execution strategy (e.g.
+    :meth:`repro.analysis.runner.SweepEngine.run_results` for parallel +
+    cached execution) without touching grid order or aggregation.
     """
-    points: List[SweepPoint] = []
-    for x in xs:
-        results = [run_scenario(make_config(x, seed)) for seed in seeds]
-        points.append(SweepPoint(x=x, label=label(x), aggregate=aggregate(results)))
-    return points
+    grid = sweep_grid(xs, seeds)
+    configs = [make_config(x, seed) for x, seed in grid]
+    results = (runner or _serial_runner)(configs)
+    return points_from_results(xs, grid, results, label)
 
 
 def compare_variants(
     variants: Dict[str, Callable[[int], ScenarioConfig]],
     seeds: Sequence[int],
+    runner: Optional[RunnerFn] = None,
 ) -> Dict[str, Aggregate]:
     """Run several protocol variants over the same seeds (one table row
     each), e.g. the paper's Table 3."""
+    run = runner or _serial_runner
     output: Dict[str, Aggregate] = {}
     for name, make_config in variants.items():
-        results = [run_scenario(make_config(seed)) for seed in seeds]
+        results = run([make_config(seed) for seed in seeds])
         output[name] = aggregate(results)
     return output

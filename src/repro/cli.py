@@ -14,7 +14,6 @@ from typing import Optional, Sequence
 
 from repro.core.config import PAPER_VARIANTS, DsrConfig, ExpiryMode
 from repro.scenarios import presets
-from repro.scenarios.builder import run_scenario
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -77,6 +76,30 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         default=None,
         help="also write the full result record as JSON to PATH",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "worker processes for multi-seed runs (default: all cores; "
+            "1 forces in-process execution for debugging)"
+        ),
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help=(
+            "content-addressed result cache directory: runs already in the "
+            "cache are loaded instead of simulated"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore --cache-dir (always simulate, never read or write the cache)",
     )
     parser.add_argument(
         "--config",
@@ -154,11 +177,14 @@ def _run_and_report(args, config) -> int:
         file=sys.stderr,
     )
 
+    engine = _build_engine(args)
+
     if args.seeds:
         seeds = [int(chunk) for chunk in args.seeds.split(",") if chunk.strip()]
-        return _run_seed_average(args, config, seeds)
+        return _run_seed_average(args, config, seeds, engine)
 
-    result = run_scenario(config)
+    [result] = engine.run_results([config])
+    _report_engine(engine, file=sys.stderr)
 
     print(f"packet delivery fraction : {result.packet_delivery_fraction:.4f}")
     print(f"average delay (s)        : {result.average_delay:.4f}")
@@ -177,11 +203,30 @@ def _run_and_report(args, config) -> int:
     return 0
 
 
-def _run_seed_average(args, config, seeds) -> int:
+def _build_engine(args):
+    from repro.analysis.runner import SweepEngine
+
+    cache_dir = None if getattr(args, "no_cache", False) else args.cache_dir
+    return SweepEngine.create(processes=args.processes, cache_dir=cache_dir)
+
+
+def _report_engine(engine, file) -> None:
+    if engine.cache is None:
+        return
+    stats = engine.cache.stats
+    print(
+        f"result cache             : {stats.hits} hit(s), {stats.misses} "
+        f"miss(es), {stats.stores} stored",
+        file=file,
+    )
+
+
+def _run_seed_average(args, config, seeds, engine) -> int:
     from repro.analysis.stats import aggregate
 
-    results = [run_scenario(config.but(seed=seed)) for seed in seeds]
+    results = engine.run_results([config.but(seed=seed) for seed in seeds])
     agg = aggregate(results)
+    _report_engine(engine, file=sys.stderr)
 
     def line(label, metric, scale=1.0, unit=""):
         mean = agg.means[metric] * scale

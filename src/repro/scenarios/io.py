@@ -26,6 +26,18 @@ def scenario_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
     return payload
 
 
+def scenario_canonical_json(config: Union[ScenarioConfig, Dict[str, Any]]) -> str:
+    """A canonical (sorted-key, no-whitespace) JSON encoding of a scenario.
+
+    Two configurations describe the same simulation iff their canonical
+    encodings are byte-equal — dict key order, float formatting via
+    ``json``'s repr, and nothing else.  The sweep result cache hashes this
+    string, so its stability is what makes cache keys durable.
+    """
+    payload = config if isinstance(config, dict) else scenario_to_dict(config)
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
 def scenario_from_dict(payload: Dict[str, Any]) -> ScenarioConfig:
     """Inverse of :func:`scenario_to_dict` (unknown keys are rejected)."""
     data = dict(payload)

@@ -1,19 +1,47 @@
-"""Tests for the (optionally parallel) experiment runner."""
+"""Tests for the sweep execution engine (parallel + cached runner)."""
 
-from repro.analysis.runner import parallel_sweep, run_many
+import multiprocessing
+
+import pytest
+
+from repro.analysis.cache import ResultCache, scenario_hash
+from repro.analysis.runner import (
+    SweepEngine,
+    SweepExecutionError,
+    _run_payload,
+    estimate_cost,
+    parallel_sweep,
+    run_many,
+)
+from repro.analysis.series import sweep
 from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.io import scenario_to_dict
 
 
-def _config(seed=1, pause=0.0):
+def _config(seed=1, pause=0.0, duration=12.0):
     return ScenarioConfig(
         num_nodes=10,
         field_width=500.0,
         field_height=300.0,
-        duration=12.0,
+        duration=duration,
         num_sessions=3,
         pause_time=pause,
         seed=seed,
     )
+
+
+def _raise_in_worker(payload):
+    """Fails inside pool workers, succeeds when retried in the parent."""
+    if multiprocessing.parent_process() is not None:
+        raise RuntimeError("injected worker failure")
+    return _run_payload(payload)
+
+
+def _always_fail(payload):
+    raise ValueError("this task never succeeds")
+
+
+# -- historic API ------------------------------------------------------------
 
 
 def test_run_many_in_process():
@@ -45,3 +73,161 @@ def test_parallel_sweep_shapes():
     )
     assert [point.x for point in points] == [0.0, 12.0]
     assert all(point.aggregate.runs == 2 for point in points)
+
+
+# -- caching and dedup -------------------------------------------------------
+
+
+def test_duplicate_configs_simulate_once():
+    executed = []
+
+    def counting(payload):
+        executed.append(payload["seed"])
+        return _run_payload(payload)
+
+    engine = SweepEngine(processes=1, task_fn=counting)
+    report = engine.run([_config(seed=1), _config(seed=2), _config(seed=1)])
+    assert sorted(executed) == [1, 2]
+    assert report.executed == 2
+    assert report.deduped == 1
+    assert report.results[0] == report.results[2]
+
+
+def test_session_memo_dedupes_across_batches():
+    # The paper's figures share their pause-0 points; one engine must only
+    # simulate them once per session.
+    engine = SweepEngine(processes=1)
+    engine.run([_config(seed=1)])
+    report = engine.run([_config(seed=1), _config(seed=2)])
+    assert report.executed == 1
+    assert report.deduped == 1
+    assert engine.session_stats()["executed"] == 2
+
+
+def test_warm_cache_executes_zero_simulations(tmp_path):
+    configs = [_config(seed=s) for s in (1, 2)]
+    cold = SweepEngine(processes=1, cache=ResultCache(tmp_path))
+    cold_report = cold.run(configs)
+    assert cold_report.executed == 2
+
+    executed = []
+
+    def counting(payload):  # pragma: no cover - must never run
+        executed.append(payload["seed"])
+        return _run_payload(payload)
+
+    warm = SweepEngine(processes=1, cache=ResultCache(tmp_path), task_fn=counting)
+    warm_report = warm.run(configs)
+    assert executed == []
+    assert warm_report.executed == 0
+    assert warm_report.cache_hits == 2
+    assert warm_report.results == cold_report.results
+    assert warm_report.cache_stats.hits == 2
+
+
+def test_cached_and_fresh_results_interleave_identically(tmp_path):
+    # Prewarm only the middle config; in both degrade modes the cached
+    # result must land at the same index among freshly simulated ones.
+    configs = [_config(seed=s) for s in (1, 2, 3)]
+    prewarm = ResultCache(tmp_path)
+    [middle] = run_many([configs[1]], processes=1)
+    prewarm.put(scenario_hash(configs[1]), middle)
+
+    in_process = run_many(configs, processes=1, cache=ResultCache(tmp_path))
+    pooled = run_many(configs, processes=2, cache=ResultCache(tmp_path))
+    assert in_process == pooled
+    assert in_process == run_many(configs, processes=1)
+
+
+def test_parallel_cached_sweep_equals_serial_sweep(tmp_path):
+    make = lambda pause, seed: _config(seed=seed, pause=pause)  # noqa: E731
+    xs, seeds = [0.0, 12.0], [1, 2]
+    serial = sweep(make, xs, seeds)
+    engine = SweepEngine(processes=2, cache=ResultCache(tmp_path))
+    assert engine.sweep(make, xs, seeds) == serial
+    # And again warm: zero fresh simulations, identical points.
+    warm = SweepEngine(processes=2, cache=ResultCache(tmp_path))
+    assert warm.sweep(make, xs, seeds) == serial
+    assert warm.session_stats()["executed"] == 0
+
+
+# -- failure handling --------------------------------------------------------
+
+
+def test_flaky_task_is_retried_in_process():
+    attempts = []
+
+    def flaky(payload):
+        attempts.append(payload["seed"])
+        if len(attempts) == 1:
+            raise RuntimeError("transient")
+        return _run_payload(payload)
+
+    engine = SweepEngine(processes=1, retries=1, task_fn=flaky)
+    report = engine.run([_config(seed=5)])
+    assert len(attempts) == 2
+    assert report.retries == 1
+    assert report.results == run_many([_config(seed=5)], processes=1)
+
+
+def test_crashed_worker_is_retried_in_parent():
+    configs = [_config(seed=s) for s in (1, 2)]
+    engine = SweepEngine(processes=2, retries=1, task_fn=_raise_in_worker)
+    report = engine.run(configs)
+    assert report.retries == 2  # both tasks failed in workers, retried OK
+    assert report.results == run_many(configs, processes=1)
+
+
+def test_persistent_failure_is_surfaced_not_dropped():
+    engine = SweepEngine(processes=1, retries=2, task_fn=_always_fail)
+    with pytest.raises(SweepExecutionError) as excinfo:
+        engine.run([_config(seed=7)])
+    assert excinfo.value.failures  # the per-task error text survives
+    assert "ValueError" in str(excinfo.value)
+
+
+def test_zero_retries_fails_fast():
+    engine = SweepEngine(processes=1, retries=0, task_fn=_always_fail)
+    with pytest.raises(SweepExecutionError):
+        engine.run([_config(seed=7)])
+
+
+# -- scheduling and progress -------------------------------------------------
+
+
+def test_cost_estimate_orders_hard_points_first():
+    quick = scenario_to_dict(_config(pause=12.0, duration=12.0))
+    constant_motion = scenario_to_dict(_config(pause=0.0, duration=12.0))
+    long_run = scenario_to_dict(_config(pause=0.0, duration=24.0))
+    loaded = scenario_to_dict(
+        ScenarioConfig(
+            num_nodes=10,
+            field_width=500.0,
+            field_height=300.0,
+            duration=12.0,
+            num_sessions=6,
+            packet_rate=6.0,
+            seed=1,
+        )
+    )
+    assert estimate_cost(constant_motion) > estimate_cost(quick)
+    assert estimate_cost(long_run) > estimate_cost(constant_motion)
+    assert estimate_cost(loaded) > estimate_cost(constant_motion)
+
+
+def test_progress_reports_completed_cached_and_eta(tmp_path):
+    cache = ResultCache(tmp_path)
+    [first] = run_many([_config(seed=1)], processes=1)
+    cache.put(scenario_hash(_config(seed=1)), first)
+
+    updates = []
+    engine = SweepEngine(processes=1, cache=cache, progress=updates.append)
+    engine.run([_config(seed=1), _config(seed=2)])
+    assert updates, "progress callback never invoked"
+    initial, final = updates[0], updates[-1]
+    assert initial.total == 2
+    assert initial.cached == 1  # the prewarmed point resolved immediately
+    assert final.completed == 2
+    assert final.executed == 1
+    assert final.eta_s == 0.0
+    assert final.elapsed_s > 0.0

@@ -86,3 +86,35 @@ def test_cli_json_export(tmp_path, capsys):
     assert exit_code == 0
     payload = json.loads(out.read_text())
     assert "pdf" in payload["derived"]
+
+
+def test_cli_multi_seed_with_processes_and_cache(tmp_path, capsys):
+    args = [
+        "--preset", "tiny", "--duration", "15",
+        "--seeds", "1,2",
+        "--processes", "1",
+        "--cache-dir", str(tmp_path / "cache"),
+    ]
+    assert main(args) == 0
+    first = capsys.readouterr()
+    assert "packet delivery fraction" in first.out
+    assert "result cache" in first.err
+
+    # Warm re-run: every seed served from the cache.
+    assert main(args) == 0
+    second = capsys.readouterr()
+    assert second.out == first.out
+    assert "2 hit(s)" in second.err
+
+
+def test_cli_no_cache_flag_disables_cache(tmp_path, capsys):
+    exit_code = main(
+        [
+            "--preset", "tiny", "--duration", "15",
+            "--cache-dir", str(tmp_path / "cache"),
+            "--no-cache",
+        ]
+    )
+    assert exit_code == 0
+    assert not (tmp_path / "cache").exists()
+    assert "result cache" not in capsys.readouterr().err

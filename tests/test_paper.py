@@ -63,3 +63,33 @@ def test_progress_callback_invoked():
     )
     assert any("figure 1" in message for message in messages)
     assert any("table 3" in message for message in messages)
+
+
+def test_reproduce_reports_sweep_stats(quick_report):
+    stats = quick_report.sweep_stats
+    assert stats["executed"] > 0
+    # Figure 1's "no timeout" point, Figure 2's pause-0 points, Table 3 and
+    # Figure 4's 3 pkt/s points overlap: one engine must dedupe them.
+    assert stats["deduped"] > 0
+    assert stats["retries"] == 0
+
+
+def test_reproduce_warm_cache_executes_nothing(tmp_path):
+    kwargs = dict(
+        scale="quick",
+        seeds=[1],
+        fig2_variants=["DSR"],
+        fig4_variants=("DSR",),
+        processes=1,
+        cache_dir=tmp_path / "cache",
+    )
+    cold = reproduce(**kwargs)
+    warm = reproduce(**kwargs)
+    assert cold.sweep_stats["executed"] > 0
+    assert warm.sweep_stats["executed"] == 0
+    assert warm.sweep_stats["cache_hits"] > 0
+    # Cached reproduction is byte-identical to the cold one.
+    assert warm.fig1 == cold.fig1
+    assert warm.fig2 == cold.fig2
+    assert warm.table3 == cold.table3
+    assert warm.fig4 == cold.fig4
