@@ -85,7 +85,7 @@ class CacheStats:
 class ResultCache:
     """On-disk content-addressed store of :class:`SimulationResult` records."""
 
-    def __init__(self, root: PathLike):
+    def __init__(self, root: PathLike) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
@@ -101,10 +101,10 @@ class ResultCache:
         """
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-            if payload.get("format_version") != CACHE_FORMAT_VERSION:
-                raise ValueError(f"format version {payload.get('format_version')}")
-            result = result_from_payload(payload["result"])
+            entry = json.loads(path.read_text())
+            if entry.get("format_version") != CACHE_FORMAT_VERSION:
+                raise ValueError(f"format version {entry.get('format_version')}")
+            result = result_from_payload(entry["result"])
         except FileNotFoundError:
             self.stats.misses += 1
             return None

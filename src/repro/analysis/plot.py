@@ -8,7 +8,7 @@ bench output.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.analysis.series import SweepPoint
 

@@ -35,7 +35,6 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 from repro.analysis.cache import CacheStats, ResultCache, scenario_hash
 from repro.analysis.series import (
     SweepPoint,
-    points_from_results,
     sweep,
     compare_variants as _compare_variants,
 )
@@ -173,7 +172,10 @@ class SweepEngine:
     def run(self, configs: Sequence[ScenarioConfig]) -> RunReport:
         """Run every configuration, in order; see the module docstring for
         the pipeline."""
-        start = time.perf_counter()
+        # Wall-clock here is operator-facing accounting (elapsed/ETA in
+        # progress callbacks, RunReport.wall_s); it never feeds simulation
+        # state, which runs purely on sim.now.
+        start = time.perf_counter()  # repro-lint: disable=DET001
         payloads = [scenario_to_dict(config) for config in configs]
         keys = [scenario_hash(payload) for payload in payloads]
 
@@ -212,7 +214,8 @@ class SweepEngine:
             if self.progress is None:
                 return
             completed = sum(1 for r in results if r is not None)
-            elapsed = time.perf_counter() - start
+            # Operator-facing progress clock, not simulation state.
+            elapsed = time.perf_counter() - start  # repro-lint: disable=DET001
             remaining = len(tasks) - executed - len(failures)
             eta = None
             if executed:
@@ -280,7 +283,8 @@ class SweepEngine:
             cache_hits=cache_hits,
             deduped=deduped,
             retries=retries,
-            wall_s=time.perf_counter() - start,
+            # Operator-facing batch accounting, not simulation state.
+            wall_s=time.perf_counter() - start,  # repro-lint: disable=DET001
             cache_stats=self.cache.stats if self.cache is not None else None,
         )
 

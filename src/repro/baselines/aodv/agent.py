@@ -68,7 +68,9 @@ class AodvAgent:
     ):
         self.node_id = node_id
         self._sim = sim
-        self._rng = rng or np.random.default_rng(node_id)
+        # Test-convenience fallback only: the scenario builder always injects
+        # a RandomStreams stream derived from the scenario seed.
+        self._rng = rng or np.random.default_rng(node_id)  # repro-lint: disable=DET002
         self._tracer = tracer or Tracer()
         self._oracle = validity_oracle  # unused; kept for builder symmetry
         self.expanding_ring = expanding_ring

@@ -34,7 +34,9 @@ class FloodingAgent:
     ):
         self.node_id = node_id
         self._sim = sim
-        self._rng = rng or np.random.default_rng(node_id)
+        # Test-convenience fallback only: the scenario builder always injects
+        # a RandomStreams stream derived from the scenario seed.
+        self._rng = rng or np.random.default_rng(node_id)  # repro-lint: disable=DET002
         self._tracer = tracer or Tracer()
         self.default_ttl = default_ttl
         self._seen = SeenTable(capacity=4096, lifetime=60.0)

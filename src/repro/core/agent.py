@@ -85,7 +85,9 @@ class DsrAgent:
         self.node_id = node_id
         self._sim = sim
         self.config = config or DsrConfig()
-        self._rng = rng or np.random.default_rng(node_id)
+        # Test-convenience fallback only: the scenario builder always injects
+        # a RandomStreams stream derived from the scenario seed.
+        self._rng = rng or np.random.default_rng(node_id)  # repro-lint: disable=DET002
         self._tracer = tracer or Tracer()
         self._oracle = validity_oracle
 

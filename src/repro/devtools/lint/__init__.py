@@ -1,0 +1,34 @@
+"""``repro-lint``: AST-based determinism & simulation-invariant analyzer.
+
+The simulator's reproducibility guarantees (seeded streams only, total
+event ordering, guarded hot-path tracing, complete cache keys) live in
+conventions; this package turns them into machine-checked rules.  See
+``docs/architecture.md`` ("Determinism invariants") for the rule
+catalogue and rationale.
+
+Programmatic use::
+
+    from repro.devtools.lint import lint_paths
+    result = lint_paths([Path("src/repro")])
+    assert result.clean, [f.render() for f in result.findings]
+
+Command line::
+
+    repro-lint src/repro
+    python -m repro.devtools.lint --list-rules
+"""
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, all_rules, known_codes, register
+from repro.devtools.lint.runner import LintResult, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "known_codes",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,34 @@
+"""The unit of linter output: one finding at one source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a file position.
+
+    Ordering is ``(path, line, col, code)`` so reports are stable across
+    runs and dict/set intermediates — the linter must hold itself to the
+    determinism bar it enforces.
+    """
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }

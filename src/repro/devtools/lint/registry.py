@@ -1,0 +1,72 @@
+"""Rule base class and the global rule registry.
+
+Rules self-register at import time via the :func:`register` decorator;
+:mod:`repro.devtools.lint.rules` imports every rule module so that loading
+the package populates the registry.  The registry is keyed and iterated in
+sorted-code order, keeping reports byte-stable.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Type
+
+from repro.devtools.lint.context import FileContext
+from repro.devtools.lint.findings import Finding
+
+
+class Rule:
+    """One analysis pass over a parsed file.
+
+    Subclasses set ``code`` (stable identifier used in reports and
+    suppression comments), ``name`` and ``description``, and implement
+    :meth:`check`.  :meth:`applies` narrows a rule to a path scope (e.g.
+    TRC001 only inspects ``mac/``, ``phy/`` and ``sim/`` modules).
+    """
+
+    code: str = ""
+    name: str = ""
+    description: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        """A :class:`Finding` for this rule anchored at an AST node."""
+        return Finding(
+            path=str(ctx.path),
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate the rule and add it to the registry."""
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError(f"rule {rule_cls.__name__} has no code")
+    if rule.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    _REGISTRY[rule.code] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in sorted-code order."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def get_rule(code: str) -> Rule:
+    return _REGISTRY[code]
+
+
+def known_codes() -> List[str]:
+    return sorted(_REGISTRY)

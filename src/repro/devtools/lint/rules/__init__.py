@@ -1,0 +1,8 @@
+"""Rule modules; importing this package populates the registry."""
+
+from repro.devtools.lint.rules import (  # noqa: F401  (imported for side effects)
+    cachekeys,
+    determinism,
+    simulation,
+    tracing,
+)

@@ -1,0 +1,112 @@
+"""File discovery and rule dispatch."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import repro.devtools.lint.rules  # noqa: F401  (registers all rules)
+from repro.devtools.lint.context import FileContext, ProjectModel, discover_project
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import Rule, all_rules
+from repro.devtools.lint.suppressions import Suppressions
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".ruff_cache", ".mypy_cache"})
+
+
+@dataclass
+class LintResult:
+    """Findings plus the bookkeeping one lint invocation produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    errors: List[str] = field(default_factory=list)  # unreadable/unparsable files
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            found.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not _SKIP_DIRS & set(candidate.parts)
+            )
+        else:
+            found.append(path)
+    return sorted(set(found))
+
+
+def select_rules(
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+) -> List[Rule]:
+    rules = all_rules()
+    if select:
+        wanted = {code.upper() for code in select}
+        rules = [rule for rule in rules if rule.code in wanted]
+    if ignore:
+        unwanted = {code.upper() for code in ignore}
+        rules = [rule for rule in rules if rule.code not in unwanted]
+    return rules
+
+
+def lint_source(
+    source: str,
+    path: Path,
+    rules: Optional[Sequence[Rule]] = None,
+    project: Optional[ProjectModel] = None,
+) -> List[Finding]:
+    """Lint one in-memory module; raises ``SyntaxError`` on unparsable input."""
+    ctx = FileContext.from_source(path, source, project=project)
+    findings: List[Finding] = []
+    for rule in rules if rules is not None else all_rules():
+        if rule.applies(ctx):
+            findings.extend(rule.check(ctx))
+    return sorted(Suppressions(source).filter(findings))
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    select: Optional[Iterable[str]] = None,
+    ignore: Optional[Iterable[str]] = None,
+    project_root: Optional[Path] = None,
+) -> LintResult:
+    """Lint every python file under ``paths``.
+
+    The scenario-schema project model is discovered once per distinct
+    parent directory (cheap) unless ``project_root`` pins it explicitly.
+    """
+    rules = select_rules(select, ignore)
+    result = LintResult()
+    pinned = discover_project(project_root) if project_root is not None else None
+    models: Dict[Path, ProjectModel] = {}
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        if pinned is not None:
+            project = pinned
+        else:
+            parent = file_path.resolve().parent
+            if parent not in models:
+                models[parent] = discover_project(parent)
+            project = models[parent]
+        try:
+            source = file_path.read_text()
+        except OSError as exc:
+            result.errors.append(f"{file_path}: unreadable: {exc}")
+            continue
+        try:
+            result.findings.extend(
+                lint_source(source, file_path, rules=rules, project=project)
+            )
+        except SyntaxError as exc:
+            result.errors.append(f"{file_path}: syntax error: {exc.msg} (line {exc.lineno})")
+            continue
+        result.files_checked += 1
+    result.findings.sort()
+    return result

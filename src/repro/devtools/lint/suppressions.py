@@ -1,0 +1,71 @@
+"""Suppression comments: ``# repro-lint: disable=CODE[,CODE...]``.
+
+Two scopes:
+
+* **line** — a ``disable=`` comment suppresses matching findings anchored
+  on its own line (put it on the first line of a multi-line statement);
+* **file** — a ``disable-file=`` comment anywhere in the file suppresses
+  matching findings in the whole file.
+
+``disable=all`` suppresses every rule.  Comments are located with the
+:mod:`tokenize` module, so the markers are only honoured in real comments
+— a string literal that merely *contains* the text does nothing.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Iterable, List, Set
+
+from repro.devtools.lint.findings import Finding
+
+_MARKER = re.compile(
+    r"#\s*repro-lint:\s*(?P<scope>disable(?:-file)?)\s*=\s*(?P<codes>[A-Za-z0-9_,\s]+)"
+)
+
+ALL = "all"
+
+
+def _parse_codes(raw: str) -> FrozenSet[str]:
+    return frozenset(
+        code.strip().upper() for code in raw.split(",") if code.strip()
+    )
+
+
+class Suppressions:
+    """Parsed suppression directives for one source file."""
+
+    def __init__(self, source: str) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        self.file_wide: Set[str] = set()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError):
+            tokens = []
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _MARKER.search(token.string)
+            if match is None:
+                continue
+            codes = _parse_codes(match.group("codes"))
+            if match.group("scope") == "disable-file":
+                self.file_wide |= codes
+            else:
+                self.by_line.setdefault(token.start[0], set()).update(codes)
+
+    def is_suppressed(self, code: str, line: int) -> bool:
+        wanted = {code.upper(), ALL.upper()}
+        for scope in (self.file_wide, self.by_line.get(line, ())):
+            if wanted & set(scope):
+                return True
+        return False
+
+    def filter(self, findings: Iterable[Finding]) -> List[Finding]:
+        return [
+            finding
+            for finding in findings
+            if not self.is_suppressed(finding.code, finding.line)
+        ]

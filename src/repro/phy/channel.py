@@ -61,7 +61,16 @@ class Channel:
         self._radios: Dict[int, "Radio"] = {}
         self._loss_model = loss_model or NoLoss()
         self._lossy = not isinstance(self._loss_model, NoLoss)
-        self._rng = rng or np.random.default_rng(0)
+        if self._lossy and rng is None:
+            # A silent fallback generator here would give every scenario the
+            # same fading draws regardless of its seed (found by repro-lint
+            # DET002): probabilistic loss needs an explicitly seeded stream,
+            # e.g. RandomStreams(seed).stream("fading") as the builder wires.
+            raise SimulationError(
+                "a probabilistic loss model requires an explicit rng "
+                "(pass a seeded stream such as RandomStreams(seed).stream('fading'))"
+            )
+        self._rng = rng
         self.energy = energy
         # Per-quantum delivery plans: sender -> [(radio, in_rx, distance)].
         # Geometry is frozen within a neighbour-cache quantum, so the radio

@@ -18,7 +18,7 @@ delivered packet — the overhead metric's physical twin.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 

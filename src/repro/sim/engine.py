@@ -41,9 +41,9 @@ class Event:
         time: float,
         seq: int,
         fn: Callable[..., Any],
-        args: tuple,
+        args: tuple[Any, ...],
         owner: "Optional[Simulator]" = None,
-    ):
+    ) -> None:
         self.time = time
         self.seq = seq
         self.fn = fn

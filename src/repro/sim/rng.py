@@ -31,7 +31,7 @@ class RandomStreams:
     True
     """
 
-    def __init__(self, seed: int):
+    def __init__(self, seed: int) -> None:
         self.seed = int(seed)
 
     def stream(self, *names: str) -> np.random.Generator:

@@ -1,7 +1,5 @@
 """DSR agent unit tests: route discovery (requests, replies, backoff)."""
 
-import pytest
-
 from repro.core.config import DsrConfig
 from repro.core.messages import RouteReply, RouteRequest
 from repro.net.addresses import BROADCAST

@@ -2,7 +2,6 @@
 
 from repro.core.config import DsrConfig
 from repro.core.messages import RouteError, RouteReply
-from repro.net.addresses import BROADCAST
 from repro.net.packet import Packet, PacketKind
 
 from tests.helpers import make_agent

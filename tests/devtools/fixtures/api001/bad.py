@@ -1,0 +1,4 @@
+"""API001 positive fixture: shipped code importing the test tree."""
+
+from tests.helpers import build_stack  # noqa: F401
+import tests.fixtures  # noqa: F401

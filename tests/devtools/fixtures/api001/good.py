@@ -1,0 +1,3 @@
+"""API001 clean fixture."""
+
+from repro.sim.engine import Simulator  # noqa: F401

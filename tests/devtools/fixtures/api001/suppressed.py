@@ -1,0 +1,9 @@
+"""API001 suppression fixture (file-wide scope).
+
+# repro-lint: disable-file=API001 is honoured anywhere in the file; this
+fixture keeps it in a real comment below.
+"""
+
+# Vendored assertion helpers; packaging excludes this module.
+# repro-lint: disable-file=API001
+from tests.helpers import build_stack  # noqa: F401

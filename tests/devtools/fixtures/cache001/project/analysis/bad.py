@@ -1,0 +1,9 @@
+"""CACHE001 positive fixture: reads outside the canonical key set."""
+
+
+def describe(config):
+    return f"{config.num_nodes} nodes, rev {config.schema_rev}"
+
+
+def estimate(payload):
+    return payload.get("node_count", 0) * payload["duration"]

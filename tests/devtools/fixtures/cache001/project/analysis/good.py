@@ -1,0 +1,9 @@
+"""CACHE001 clean fixture: canonical fields and derived attributes only."""
+
+
+def describe(config):
+    return f"{config.num_nodes} nodes for {config.duration}s ({config.offered_load})"
+
+
+def estimate(payload):
+    return payload.get("num_nodes", 0) * payload["duration"]

@@ -1,0 +1,6 @@
+"""CACHE001 suppression fixture."""
+
+
+def describe(config):
+    # Presentation-only metadata; cannot change simulation results.
+    return config.display_name  # repro-lint: disable=CACHE001

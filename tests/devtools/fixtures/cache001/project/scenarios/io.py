@@ -1,0 +1,12 @@
+"""Mini scenario serialisation for CACHE001 fixtures (asdict-based)."""
+
+import dataclasses
+import json
+
+
+def scenario_to_dict(config):
+    return dataclasses.asdict(config)
+
+
+def scenario_canonical_json(config):
+    return json.dumps(scenario_to_dict(config), sort_keys=True, separators=(",", ":"))

@@ -1,0 +1,10 @@
+"""DET001 positive fixture: wall-clock reads in simulation code."""
+
+import time
+from datetime import datetime
+
+
+def stamp_event(event):
+    event.created = time.time()
+    event.logged = datetime.now()
+    return event

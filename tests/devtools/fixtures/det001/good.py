@@ -1,0 +1,6 @@
+"""DET001 clean fixture: simulation time comes from the simulator."""
+
+
+def stamp_event(sim, event):
+    event.created = sim.now
+    return event

@@ -1,0 +1,13 @@
+"""DET002 positive fixture: global/unseeded randomness."""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random() + np.random.random()
+
+
+def make_generator():
+    return np.random.default_rng()

@@ -1,0 +1,11 @@
+"""DET002 clean fixture: seeded streams through generator machinery."""
+
+import numpy as np
+
+
+def make_stream(seed_sequence):
+    return np.random.Generator(np.random.PCG64(seed_sequence))
+
+
+def jitter(rng):
+    return float(rng.random())

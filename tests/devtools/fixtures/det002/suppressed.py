@@ -1,0 +1,8 @@
+"""DET002 suppression fixture."""
+
+import numpy as np
+
+
+def fallback_generator(node_id, rng=None):
+    # Test-convenience fallback; real runs inject a seeded stream.
+    return rng or np.random.default_rng(node_id)  # repro-lint: disable=DET002

@@ -1,0 +1,12 @@
+"""DET003 positive fixture: set iteration feeding the scheduler."""
+
+
+def schedule_retries(sim, pending_ids, fire):
+    for node_id in set(pending_ids):
+        sim.schedule(0.5, fire, node_id)
+
+
+def restart_timers(waiting):
+    for node_id in frozenset(waiting):
+        state = waiting[node_id]
+        state.timer.start(1.0)

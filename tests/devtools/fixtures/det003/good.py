@@ -1,0 +1,13 @@
+"""DET003 clean fixture: explicit ordering before scheduling."""
+
+
+def schedule_retries(sim, pending_ids, fire):
+    for node_id in sorted(set(pending_ids)):
+        sim.schedule(0.5, fire, node_id)
+
+
+def tally(pending_ids):
+    total = 0
+    for node_id in set(pending_ids):  # no scheduling in the body: fine
+        total += node_id
+    return total

@@ -1,0 +1,8 @@
+"""DET003 suppression fixture."""
+
+
+def schedule_retries(sim, pending_ids, fire):
+    # Order provably irrelevant here: all events share one deadline and a
+    # commutative callback.
+    for node_id in set(pending_ids):  # repro-lint: disable=DET003
+        sim.schedule(0.5, fire, node_id)

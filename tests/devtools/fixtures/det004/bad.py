@@ -1,0 +1,12 @@
+"""DET004 positive fixture: mutable default arguments."""
+
+
+def collect(record, bucket=[]):
+    bucket.append(record)
+    return bucket
+
+
+def index(record, table={}, seen=set()):
+    table[record] = True
+    seen.add(record)
+    return table

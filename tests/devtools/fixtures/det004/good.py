@@ -1,0 +1,8 @@
+"""DET004 clean fixture: allocate inside the function."""
+
+
+def collect(record, bucket=None):
+    if bucket is None:
+        bucket = []
+    bucket.append(record)
+    return bucket

@@ -1,0 +1,9 @@
+"""DET004 suppression fixture."""
+
+
+def memoized(
+    key,
+    _cache={},  # repro-lint: disable=DET004
+):
+    # Intentional cross-call cache (read-only data, keyed by value).
+    return _cache.setdefault(key, len(key))

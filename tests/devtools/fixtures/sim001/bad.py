@@ -1,0 +1,16 @@
+"""SIM001 positive fixture: heapq calls on the engine's heap."""
+
+import heapq
+from heapq import heappop
+
+
+def sneak_event(sim, entry):
+    heapq.heappush(sim._heap, entry)
+
+
+class Meddler:
+    def __init__(self, sim):
+        self._sim = sim
+
+    def steal_next(self):
+        return heappop(self._sim._heap)

@@ -1,0 +1,18 @@
+"""SIM001 clean fixture: own heaps are fine; the engine API is fine."""
+
+import heapq
+
+
+class JobQueue:
+    def __init__(self):
+        self._heap = []
+
+    def push(self, job):
+        heapq.heappush(self._heap, job)  # our own heap, not the engine's
+
+    def pop(self):
+        return heapq.heappop(self._heap)
+
+
+def schedule_event(sim, fire):
+    return sim.schedule(1.0, fire)

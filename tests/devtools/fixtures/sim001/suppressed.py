@@ -1,0 +1,8 @@
+"""SIM001 suppression fixture: an instrumentation-only peek."""
+
+import heapq
+
+
+def peek_pending(sim):
+    # Read-only diagnostic; never mutates heap order.
+    return heapq.nsmallest(3, sim._heap)  # repro-lint: disable=SIM001

@@ -1,0 +1,14 @@
+"""TRC001 positive fixture: unguarded and mismatched emits in mac code."""
+
+
+class FakeMac:
+    def __init__(self, sim, tracer):
+        self._sim = sim
+        self._tracer = tracer
+
+    def on_drop(self, packet):
+        self._tracer.emit(self._sim.now, "mac.drop", uid=packet.uid)
+
+    def on_send(self, packet):
+        if self._tracer.wants("mac.send"):
+            self._tracer.emit(self._sim.now, "mac.sent", uid=packet.uid)

@@ -1,0 +1,15 @@
+"""TRC001 clean fixture: every emit behind a matching wants guard."""
+
+
+class FakeMac:
+    def __init__(self, sim, tracer):
+        self._sim = sim
+        self._tracer = tracer
+
+    def on_drop(self, packet):
+        if self._tracer.wants("mac.drop"):
+            self._tracer.emit(self._sim.now, "mac.drop", uid=packet.uid)
+
+    def on_busy(self, packet, kind):
+        if self._tracer.wants(kind):  # dynamic kind: guarded, not checkable
+            self._tracer.emit(self._sim.now, kind, uid=packet.uid)

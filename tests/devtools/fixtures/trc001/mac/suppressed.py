@@ -1,0 +1,11 @@
+"""TRC001 suppression fixture: a deliberate unconditional emit."""
+
+
+class ReplayingMac:
+    def __init__(self, sim, tracer):
+        self._sim = sim
+        self._tracer = tracer
+
+    def replay(self, record):
+        # Replay must re-publish every record, subscribers or not.
+        self._tracer.emit(record.time, record.kind, **record.fields)  # repro-lint: disable=TRC001

@@ -1,0 +1,34 @@
+"""Smoke tests: the shipped tree is clean, and a known violation is caught.
+
+These are the acceptance criteria for the linter as a CI gate: running
+``repro-lint src/repro`` on the repository must exit 0, and a fixture
+with a DET002 violation must exit non-zero.
+"""
+
+from pathlib import Path
+
+from repro.devtools.lint import cli
+from repro.devtools.lint.runner import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC_REPRO = REPO_ROOT / "src" / "repro"
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def test_shipped_tree_is_clean():
+    result = lint_paths([SRC_REPRO])
+    assert result.files_checked > 50
+    assert result.clean, "\n".join(
+        [finding.render() for finding in result.findings] + result.errors
+    )
+
+
+def test_cli_exits_zero_on_shipped_tree(capsys):
+    assert cli.main([str(SRC_REPRO)]) == cli.EXIT_CLEAN
+    assert "no findings" in capsys.readouterr().out
+
+
+def test_cli_exits_nonzero_on_det002_violation(capsys):
+    exit_code = cli.main([str(FIXTURES / "det002" / "bad.py")])
+    assert exit_code == cli.EXIT_FINDINGS
+    assert "DET002" in capsys.readouterr().out

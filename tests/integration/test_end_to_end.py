@@ -1,8 +1,6 @@
 """Integration tests: full stacks over real channels, small topologies."""
 
-from repro.core.config import DsrConfig
 from repro.mobility.grid import chain_positions
-from repro.net.packet import PacketKind
 from repro.traffic.cbr import CbrSource
 from repro.traffic.sink import Sink
 

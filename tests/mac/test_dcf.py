@@ -10,7 +10,6 @@ from __future__ import annotations
 from typing import Dict, List, Tuple
 
 import numpy as np
-import pytest
 
 from repro.mac.dcf import DcfMac
 from repro.mac.timing import MacTiming

@@ -4,8 +4,6 @@ import numpy as np
 
 from repro.mac.dcf import DcfMac
 from repro.mac.frames import Frame, FrameKind
-from repro.mac.timing import MacTiming
-from repro.net.packet import Packet, PacketKind
 
 from tests.mac.test_dcf import build_macs, _packet
 
@@ -68,7 +66,6 @@ def test_grey_zone_losses_recovered_by_retries():
     from repro.phy.propagation import DiskPropagation
     from repro.phy.radio import Radio
     from repro.sim.engine import Simulator
-    from repro.sim.trace import Tracer
     from tests.mac.test_dcf import UpperRecorder
 
     sim = Simulator()

@@ -1,7 +1,5 @@
 """Tests for the Tahoe TCP implementation."""
 
-import pytest
-
 from repro.mobility.grid import chain_positions
 from repro.traffic.tcp import TcpAck, TcpSegment, TcpSink, TcpSource
 
