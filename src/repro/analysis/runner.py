@@ -26,10 +26,12 @@ modes — the only thing that differs is which map drains the task list:
 from __future__ import annotations
 
 import functools
+import json
 import multiprocessing
 import os
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import CacheStats, ResultCache, scenario_hash
@@ -53,14 +55,22 @@ def _run_payload(payload: dict) -> SimulationResult:
     return run_scenario(scenario_from_dict(payload))
 
 
-def _guarded(task_fn: TaskFn, task: Tuple[str, dict]) -> Tuple[str, Optional[SimulationResult], Optional[str]]:
+def _guarded(
+    task_fn: TaskFn, task: Tuple[str, dict]
+) -> Tuple[str, Optional[SimulationResult], Optional[str], float]:
     """Run one task, returning errors as data so a bad payload cannot break
-    the pool's result iterator."""
+    the pool's result iterator.  The returned wall time is measured in the
+    executing process (the worker, for pooled mode) so the parent's sweep
+    telemetry attributes simulation cost, not pool latency."""
     key, payload = task
+    # Operator-facing per-task accounting; never feeds simulation state.
+    start = time.perf_counter()  # repro-lint: disable=DET001
     try:
-        return key, task_fn(payload), None
+        result = task_fn(payload)
+        return key, result, None, time.perf_counter() - start  # repro-lint: disable=DET001
     except Exception as exc:  # surfaced to the parent, retried there
-        return key, None, f"{type(exc).__name__}: {exc}"
+        wall = time.perf_counter() - start  # repro-lint: disable=DET001
+        return key, None, f"{type(exc).__name__}: {exc}", wall
 
 
 def estimate_cost(payload: dict) -> float:
@@ -106,6 +116,10 @@ class ProgressUpdate:
     retries: int  # retry attempts performed so far
     elapsed_s: float
     eta_s: Optional[float]  # None until one simulation has finished
+    # -- sweep telemetry (worker-measured, see _guarded) -------------------
+    last_task_wall_s: Optional[float] = None  # wall of the newest simulation
+    task_wall_total_s: float = 0.0  # summed simulation wall so far
+    disk_cache_hits: int = 0  # resolved from the on-disk cache
 
 
 ProgressFn = Callable[[ProgressUpdate], None]
@@ -124,6 +138,8 @@ class RunReport:
     wall_s: float
     cache_stats: Optional[CacheStats] = None
     failures: Dict[str, str] = field(default_factory=dict)
+    #: Worker-measured simulation wall per scenario hash (executed tasks only).
+    task_walls: Dict[str, float] = field(default_factory=dict)
 
 
 class SweepEngine:
@@ -143,6 +159,7 @@ class SweepEngine:
         retries: int = 1,
         progress: Optional[ProgressFn] = None,
         task_fn: Optional[TaskFn] = None,
+        manifest_path: Optional[os.PathLike] = None,
     ):
         self.processes = processes
         self.cache = cache
@@ -150,11 +167,22 @@ class SweepEngine:
         self.progress = progress
         self._task_fn = task_fn or _run_payload
         self._memo: Dict[str, SimulationResult] = {}
+        # Run manifest: one JSON line of telemetry per run() batch.  Lives
+        # next to the result cache by default so `cat cache/manifest.jsonl`
+        # answers "what did my sweeps cost and what came from the cache".
+        if manifest_path is not None:
+            self.manifest_path = Path(manifest_path)
+        elif cache is not None:
+            self.manifest_path = cache.root / "manifest.jsonl"
+        else:
+            self.manifest_path = None
+        self._batches = 0
         # Accumulated across run() calls, for end-of-session reporting.
         self.total_executed = 0
         self.total_cache_hits = 0
         self.total_deduped = 0
         self.total_retries = 0
+        self.total_task_wall_s = 0.0
 
     @classmethod
     def create(
@@ -208,6 +236,8 @@ class SweepEngine:
         executed = 0
         retries = 0
         failures: Dict[str, str] = {}
+        task_walls: Dict[str, float] = {}
+        last_wall: List[Optional[float]] = [None]
         processes = self._resolve_processes(len(tasks))
 
         def note_progress() -> None:
@@ -232,6 +262,9 @@ class SweepEngine:
                     retries=retries,
                     elapsed_s=elapsed,
                     eta_s=eta,
+                    last_task_wall_s=last_wall[0],
+                    task_wall_total_s=sum(task_walls.values()),
+                    disk_cache_hits=cache_hits,
                 )
             )
 
@@ -243,11 +276,13 @@ class SweepEngine:
                 results[index] = result
 
         note_progress()
-        for key, result, error in self._completions(tasks, processes):
+        for key, result, error, wall in self._completions(tasks, processes):
+            last_wall[0] = wall
             if error is not None:
                 failures[key] = error
             else:
                 executed += 1
+                task_walls[key] = wall
                 settle(key, result)
             note_progress()
 
@@ -262,11 +297,13 @@ class SweepEngine:
             failures = {}
             for task in retry_tasks:
                 retries += 1
-                key, result, error = guarded(task)
+                key, result, error, wall = guarded(task)
+                last_wall[0] = wall
                 if error is not None:
                     failures[key] = error
                 else:
                     executed += 1
+                    task_walls[key] = wall
                     settle(key, result)
                 note_progress()
         if failures:
@@ -276,7 +313,9 @@ class SweepEngine:
         self.total_cache_hits += cache_hits
         self.total_deduped += deduped
         self.total_retries += retries
-        return RunReport(
+        self.total_task_wall_s += sum(task_walls.values())
+        self._batches += 1
+        report = RunReport(
             results=list(results),  # type: ignore[arg-type]  # all settled
             total=len(payloads),
             executed=executed,
@@ -286,7 +325,10 @@ class SweepEngine:
             # Operator-facing batch accounting, not simulation state.
             wall_s=time.perf_counter() - start,  # repro-lint: disable=DET001
             cache_stats=self.cache.stats if self.cache is not None else None,
+            task_walls=task_walls,
         )
+        self._append_manifest(report)
+        return report
 
     def run_results(self, configs: Sequence[ScenarioConfig]) -> List[SimulationResult]:
         """Just the results, in config order (the :data:`RunnerFn` shape)."""
@@ -298,8 +340,9 @@ class SweepEngine:
 
     def _completions(
         self, tasks: List[Tuple[str, dict]], processes: int
-    ) -> Iterable[Tuple[str, Optional[SimulationResult], Optional[str]]]:
-        """Drain tasks, yielding ``(key, result, error)`` as they finish.
+    ) -> Iterable[Tuple[str, Optional[SimulationResult], Optional[str], float]]:
+        """Drain tasks, yielding ``(key, result, error, wall_s)`` as they
+        finish.
 
         Both branches consume the same longest-job-first task list through
         the same guarded wrapper; pooled mode merely overlaps them.
@@ -332,6 +375,38 @@ class SweepEngine:
     ) -> Dict[str, Aggregate]:
         """Engine-backed :func:`repro.analysis.series.compare_variants`."""
         return _compare_variants(variants, seeds, runner=self.run_results)
+
+    def _append_manifest(self, report: RunReport) -> None:
+        """Persist one telemetry line for a finished batch (best effort)."""
+        if self.manifest_path is None:
+            return
+        walls = sorted(report.task_walls.items(), key=lambda i: (-i[1], i[0]))
+        entry = {
+            "batch": self._batches,
+            "total": report.total,
+            "executed": report.executed,
+            "cache_hits": report.cache_hits,
+            "deduped": report.deduped,
+            "retries": report.retries,
+            "wall_s": round(report.wall_s, 6),
+            "task_wall_total_s": round(sum(report.task_walls.values()), 6),
+            "tasks": [
+                {"key": key, "wall_s": round(wall, 6)} for key, wall in walls
+            ],
+        }
+        if report.cache_stats is not None:
+            entry["cache"] = {
+                "hits": report.cache_stats.hits,
+                "misses": report.cache_stats.misses,
+                "stores": report.cache_stats.stores,
+            }
+        try:
+            self.manifest_path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.manifest_path, "a", encoding="utf-8") as handle:
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+        except OSError:
+            # Telemetry must never fail a sweep (read-only cache dir, etc.).
+            pass
 
     def session_stats(self) -> Dict[str, int]:
         """Accumulated executed/cached/deduped counts across run() calls."""

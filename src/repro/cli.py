@@ -101,6 +101,57 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="ignore --cache-dir (always simulate, never read or write the cache)",
     )
+    obs = parser.add_argument_group(
+        "observability",
+        "trace/metrics/profiling outputs for a single run (not --seeds); "
+        "simulation metrics are bit-identical with these on or off",
+    )
+    obs.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write every trace record to PATH (.jsonl suffix selects jsonl, "
+        "else text; inspect with repro-trace)",
+    )
+    obs.add_argument(
+        "--trace-format",
+        choices=("text", "jsonl"),
+        default=None,
+        help="force the trace format instead of inferring it from the suffix",
+    )
+    obs.add_argument(
+        "--metrics",
+        metavar="PATH",
+        default=None,
+        help="write a per-interval metrics timeseries to PATH "
+        "(.csv suffix selects CSV, else JSONL)",
+    )
+    obs.add_argument(
+        "--metrics-interval",
+        type=float,
+        default=5.0,
+        metavar="SECONDS",
+        help="timeseries interval in simulated seconds (default: 5)",
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="attribute wall-clock to engine callbacks; table printed to stderr",
+    )
+    obs.add_argument(
+        "--flight-recorder",
+        metavar="PATH",
+        default=None,
+        help="keep a ring of recent trace records and dump it to PATH "
+        "(always on exit, and on a crash with the context that led to it)",
+    )
+    obs.add_argument(
+        "--flight-capacity",
+        type=int,
+        default=512,
+        metavar="N",
+        help="flight recorder ring size (default: 512)",
+    )
     parser.add_argument(
         "--config",
         metavar="PATH",
@@ -177,14 +228,27 @@ def _run_and_report(args, config) -> int:
         file=sys.stderr,
     )
 
-    engine = _build_engine(args)
-
+    obs_requested = bool(
+        args.trace or args.metrics or args.profile or args.flight_recorder
+    )
     if args.seeds:
+        if obs_requested:
+            print(
+                "error: --trace/--metrics/--profile/--flight-recorder observe "
+                "one run and cannot be combined with --seeds",
+                file=sys.stderr,
+            )
+            return 2
+        engine = _build_engine(args)
         seeds = [int(chunk) for chunk in args.seeds.split(",") if chunk.strip()]
         return _run_seed_average(args, config, seeds, engine)
 
-    [result] = engine.run_results([config])
-    _report_engine(engine, file=sys.stderr)
+    if obs_requested:
+        result = _run_observed(args, config)
+    else:
+        engine = _build_engine(args)
+        [result] = engine.run_results([config])
+        _report_engine(engine, file=sys.stderr)
 
     print(f"packet delivery fraction : {result.packet_delivery_fraction:.4f}")
     print(f"average delay (s)        : {result.average_delay:.4f}")
@@ -201,6 +265,64 @@ def _run_and_report(args, config) -> int:
         path = result_to_json(result, args.json)
         print(f"result written           : {path}", file=sys.stderr)
     return 0
+
+
+def _run_observed(args, config):
+    """Run one scenario in-process with the requested observability wiring.
+
+    The observers only subscribe/sample — metrics are bit-identical to the
+    unobserved engine path for the same scenario.
+    """
+    from repro.obs import Observability
+    from repro.scenarios.builder import build_simulation
+    from repro.sim.tracefile import TraceFileWriter
+
+    handle = build_simulation(config)
+    obs = Observability(
+        metrics_interval=args.metrics_interval if args.metrics else None,
+        profile=args.profile,
+        flight_capacity=args.flight_capacity if args.flight_recorder else None,
+    ).attach(handle)
+
+    writer = None
+    if args.trace:
+        fmt = args.trace_format or (
+            "jsonl" if str(args.trace).endswith(".jsonl") else "text"
+        )
+        writer = TraceFileWriter(handle.tracer, args.trace, fmt=fmt)
+    try:
+        result = obs.run(handle, flight_dump_path=args.flight_recorder)
+    except BaseException:
+        if args.flight_recorder:
+            print(f"flight recorder dump    : {args.flight_recorder}", file=sys.stderr)
+        raise
+    finally:
+        if writer is not None:
+            writer.close()
+
+    if args.trace:
+        print(
+            f"trace written            : {args.trace} "
+            f"({writer.records_written} records)",
+            file=sys.stderr,
+        )
+    if args.metrics:
+        interval = obs.interval_metrics
+        if str(args.metrics).endswith(".csv"):
+            interval.export_csv(args.metrics)
+        else:
+            interval.export_jsonl(args.metrics)
+        print(
+            f"metrics written          : {args.metrics} "
+            f"({len(interval.rows)} intervals)",
+            file=sys.stderr,
+        )
+    if args.flight_recorder:
+        obs.flight.dump(args.flight_recorder)
+        print(f"flight recorder          : {args.flight_recorder}", file=sys.stderr)
+    if args.profile:
+        print(obs.profile_report().format(top=12), file=sys.stderr)
+    return result
 
 
 def _build_engine(args):

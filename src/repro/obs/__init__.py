@@ -1,0 +1,44 @@
+"""Observability layer: metrics, profiling, and post-mortem tooling.
+
+Everything here observes the simulation from outside — trace
+subscriptions, snapshot events, and an opt-in engine hook — and never
+mutates protocol state or draws randomness, so simulation results are
+bit-identical with observability on or off (pinned by
+``tests/obs/test_identical.py``).
+
+* :class:`MetricsRegistry` / :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` — virtual-time instruments.
+* :class:`IntervalMetrics` — per-interval protocol timeseries
+  (delivery ratio, cache hit/stale rate, MAC failures, send-buffer
+  depth...), exportable to JSONL/CSV.
+* :class:`EngineProfiler` / :class:`ProfileReport` — wall-clock
+  attribution per event callback and component.
+* :class:`FlightRecorder` — bounded ring of recent trace records, dumped
+  on demand or on a propagating exception.
+* :class:`Observability` — one-call wiring of the above over a
+  ``SimulationHandle``.
+* :mod:`repro.obs.tracecli` — the ``repro-trace`` inspection CLI over
+  ``TraceFileWriter`` artifacts.
+"""
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.instruments import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.interval import IntervalMetrics
+from repro.obs.profiler import ComponentProfile, EngineProfiler, ProfileReport
+from repro.obs.session import Observability
+from repro.obs.traceio import iter_records, sniff_format
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "IntervalMetrics",
+    "EngineProfiler",
+    "ProfileReport",
+    "ComponentProfile",
+    "FlightRecorder",
+    "Observability",
+    "iter_records",
+    "sniff_format",
+]

@@ -1,0 +1,120 @@
+"""Flight recorder: a bounded ring of the most recent trace records.
+
+When a simulation dies mid-run, the final metrics are useless and the full
+trace may not have been requested — the flight recorder keeps the last N
+:class:`TraceRecord`s in memory (wildcard subscription, O(1) per record)
+and dumps them on demand or when :meth:`armed` catches a propagating
+exception, ns-2 post-mortem style but without the gigabyte trace file.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Deque, Iterable, Iterator, List, Optional, Union
+
+from repro.sim.trace import TraceRecord, Tracer
+
+PathLike = Union[str, Path]
+
+
+def _render(record: TraceRecord) -> str:
+    """One text line per record, matching TraceFileWriter's text format."""
+    fields = " ".join(f"{k}={v}" for k, v in sorted(record.fields.items()))
+    return f"{record.time:.6f} {record.kind} {fields}".rstrip()
+
+
+class FlightRecorder:
+    """Ring buffer of recent trace records, attached to a tracer.
+
+    Parameters
+    ----------
+    tracer:
+        The hub to record from (attaches immediately).
+    capacity:
+        Ring size; older records are evicted in O(1).
+    kinds:
+        Record only these kinds (default: everything).  Note that any
+        wildcard subscription makes *all* guarded emits fire, so a
+        kind-filtered recorder is also the cheaper one.
+    """
+
+    def __init__(
+        self,
+        tracer: Tracer,
+        capacity: int = 512,
+        kinds: Optional[Iterable[str]] = None,
+    ) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.records_seen = 0
+        self._ring: Deque[TraceRecord] = deque(maxlen=capacity)
+        self._tracer = tracer
+        self._kinds: Optional[List[str]] = None if kinds is None else list(kinds)
+        if self._kinds is None:
+            tracer.subscribe("*", self._record)
+        else:
+            for kind in self._kinds:
+                tracer.subscribe(kind, self._record)
+        self._attached = True
+
+    def _record(self, record: TraceRecord) -> None:
+        self._ring.append(record)
+        self.records_seen += 1
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def detach(self) -> None:
+        """Unsubscribe from the tracer (the ring stays readable); idempotent."""
+        if not self._attached:
+            return
+        self._attached = False
+        if self._kinds is None:
+            self._tracer.unsubscribe("*", self._record)
+        else:
+            for kind in self._kinds:
+                self._tracer.unsubscribe(kind, self._record)
+
+    # -- reading -----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def records(self) -> List[TraceRecord]:
+        """Oldest-to-newest snapshot of the ring."""
+        return list(self._ring)
+
+    def format(self) -> str:
+        """The ring as text-format trace lines with a one-line header."""
+        dropped = self.records_seen - len(self._ring)
+        header = (
+            f"# flight recorder: last {len(self._ring)} of "
+            f"{self.records_seen} record(s) (capacity {self.capacity}, "
+            f"{dropped} older evicted)"
+        )
+        return "\n".join([header, *(_render(record) for record in self._ring)])
+
+    def dump(self, path: PathLike) -> Path:
+        """Write :meth:`format` to ``path`` and return it."""
+        target = Path(path)
+        target.write_text(self.format() + "\n")
+        return target
+
+    # -- fault handling ----------------------------------------------------
+
+    @contextmanager
+    def armed(self, path: PathLike) -> Iterator["FlightRecorder"]:
+        """Dump the ring to ``path`` if the body raises, then re-raise.
+
+        >>> recorder = FlightRecorder(handle.tracer)        # doctest: +SKIP
+        >>> with recorder.armed("crash-context.txt"):       # doctest: +SKIP
+        ...     handle.run()
+        """
+        try:
+            yield self
+        except BaseException:
+            self.dump(path)
+            raise

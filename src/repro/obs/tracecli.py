@@ -1,0 +1,263 @@
+"""Command-line trace inspection: ``repro-trace``.
+
+Works on both ``TraceFileWriter`` formats (text and jsonl, sniffed
+automatically) and on flight-recorder dumps::
+
+    repro-trace summarize run.jsonl
+    repro-trace filter run.jsonl --kind dsr.link_break --since 20 --until 60
+    repro-trace filter run.jsonl --node 17 --format jsonl
+    repro-trace timeseries run.jsonl --interval 5 --kinds app.send,app.recv
+
+``summarize`` prints per-kind record counts and the time span;
+``filter`` re-emits matching records (text or jsonl) for piping;
+``timeseries`` bins record counts per virtual-time interval — the quick
+version of :class:`repro.obs.interval.IntervalMetrics` for runs that only
+kept a trace file.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.traceio import iter_records, render_jsonl, render_text, sniff_format
+
+#: Field names that identify "the node" of a record, in match priority order.
+_NODE_FIELDS = ("node", "src", "dst", "sender", "next_hop")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="Inspect simulation trace files written by TraceFileWriter.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="record counts per kind, time span, drop reasons"
+    )
+    summarize.add_argument("path", help="trace file (text or jsonl)")
+    summarize.add_argument(
+        "--json", action="store_true", help="emit the summary as JSON"
+    )
+
+    filter_cmd = sub.add_parser("filter", help="re-emit records matching predicates")
+    filter_cmd.add_argument("path", help="trace file (text or jsonl)")
+    filter_cmd.add_argument(
+        "--kind",
+        action="append",
+        default=None,
+        metavar="KIND",
+        help="keep only this record kind (repeatable)",
+    )
+    filter_cmd.add_argument("--since", type=float, default=None, metavar="T")
+    filter_cmd.add_argument("--until", type=float, default=None, metavar="T")
+    filter_cmd.add_argument(
+        "--node",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep records touching node N (node/src/dst/sender/next_hop)",
+    )
+    filter_cmd.add_argument(
+        "--format",
+        choices=("text", "jsonl"),
+        default="text",
+        dest="out_format",
+        help="output rendering (default: text)",
+    )
+
+    timeseries = sub.add_parser(
+        "timeseries", help="per-interval record counts by kind"
+    )
+    timeseries.add_argument("path", help="trace file (text or jsonl)")
+    timeseries.add_argument(
+        "--interval", type=float, default=5.0, metavar="SECONDS"
+    )
+    timeseries.add_argument(
+        "--kinds",
+        default=None,
+        metavar="K1,K2,...",
+        help="column kinds (default: every kind present, sorted)",
+    )
+    timeseries.add_argument(
+        "--format",
+        choices=("text", "csv"),
+        default="text",
+        dest="out_format",
+        help="output rendering (default: aligned text table)",
+    )
+    return parser
+
+
+# -- summarize -------------------------------------------------------------
+
+
+def _summarize(path: str, as_json: bool) -> int:
+    fmt = sniff_format(path)
+    counts: Dict[str, int] = {}
+    drop_reasons: Dict[str, int] = {}
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    total = 0
+    for record in iter_records(path, fmt):
+        total += 1
+        kind = record["kind"]
+        counts[kind] = counts.get(kind, 0) + 1
+        t = record["t"]
+        t_min = t if t_min is None or t < t_min else t_min
+        t_max = t if t_max is None or t > t_max else t_max
+        if kind.endswith(".drop") and "reason" in record:
+            reason = str(record["reason"])
+            drop_reasons[reason] = drop_reasons.get(reason, 0) + 1
+    ordered = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    if as_json:
+        print(
+            json.dumps(
+                {
+                    "path": path,
+                    "format": fmt,
+                    "records": total,
+                    "t_min": t_min,
+                    "t_max": t_max,
+                    "kinds": dict(ordered),
+                    "drop_reasons": dict(
+                        sorted(drop_reasons.items(), key=lambda i: (-i[1], i[0]))
+                    ),
+                },
+                indent=2,
+            )
+        )
+        return 0
+    print(f"trace    : {path}")
+    print(f"format   : {fmt}")
+    print(f"records  : {total}")
+    if total:
+        print(f"span     : {t_min:.6f} .. {t_max:.6f} s")
+        print("kinds    :")
+        width = max(len(kind) for kind, _count in ordered)
+        for kind, count in ordered:
+            print(f"  {kind:<{width}}  {count}")
+    if drop_reasons:
+        print("drops    :")
+        for reason, count in sorted(drop_reasons.items(), key=lambda i: (-i[1], i[0])):
+            print(f"  {reason}  {count}")
+    return 0
+
+
+# -- filter ----------------------------------------------------------------
+
+
+def _matches(
+    record: Dict[str, Any],
+    kinds: Optional[Sequence[str]],
+    since: Optional[float],
+    until: Optional[float],
+    node: Optional[int],
+) -> bool:
+    if kinds is not None and record["kind"] not in kinds:
+        return False
+    t = record["t"]
+    if since is not None and t < since:
+        return False
+    if until is not None and t > until:
+        return False
+    if node is not None and not any(
+        record.get(field) == node for field in _NODE_FIELDS
+    ):
+        return False
+    return True
+
+
+def _filter(args: argparse.Namespace) -> int:
+    render = render_jsonl if args.out_format == "jsonl" else render_text
+    kinds = list(args.kind) if args.kind else None
+    matched = 0
+    for record in iter_records(args.path):
+        if _matches(record, kinds, args.since, args.until, args.node):
+            print(render(record))
+            matched += 1
+    print(f"{matched} record(s) matched", file=sys.stderr)
+    return 0
+
+
+# -- timeseries ------------------------------------------------------------
+
+
+def _timeseries(args: argparse.Namespace) -> int:
+    if args.interval <= 0:
+        print("error: --interval must be positive", file=sys.stderr)
+        return 2
+    wanted: Optional[List[str]] = None
+    if args.kinds:
+        wanted = [k for k in args.kinds.split(",") if k]
+    bins: Dict[int, Dict[str, int]] = {}
+    seen_kinds: set = set()
+    last_bin = -1
+    for record in iter_records(args.path):
+        kind = record["kind"]
+        if wanted is not None and kind not in wanted:
+            continue
+        index = int(record["t"] // args.interval)
+        row = bins.setdefault(index, {})
+        row[kind] = row.get(kind, 0) + 1
+        seen_kinds.add(kind)
+        last_bin = max(last_bin, index)
+    columns = wanted if wanted is not None else sorted(seen_kinds)
+    rows: Iterable[int] = range(0, last_bin + 1)
+    if args.out_format == "csv":
+        print(",".join(["t_start", "t_end", *columns]))
+        for index in rows:
+            counts = bins.get(index, {})
+            cells = [f"{index * args.interval:g}", f"{(index + 1) * args.interval:g}"]
+            cells += [str(counts.get(kind, 0)) for kind in columns]
+            print(",".join(cells))
+        return 0
+    if not columns:
+        print("no records matched")
+        return 0
+    widths = [max(len(kind), 8) for kind in columns]
+    header = f"{'t_start':>10} {'t_end':>10}  " + " ".join(
+        f"{kind:>{w}}" for kind, w in zip(columns, widths)
+    )
+    print(header)
+    for index in rows:
+        counts = bins.get(index, {})
+        line = f"{index * args.interval:>10g} {(index + 1) * args.interval:>10g}  "
+        line += " ".join(
+            f"{counts.get(kind, 0):>{w}}" for kind, w in zip(columns, widths)
+        )
+        print(line)
+    return 0
+
+
+# -- entry point -----------------------------------------------------------
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            return _summarize(args.path, args.json)
+        if args.command == "filter":
+            return _filter(args)
+        return _timeseries(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc.filename}: no such trace file", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe: not an error.  Detach
+        # stdout so interpreter shutdown does not print a spurious warning.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

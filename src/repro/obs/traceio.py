@@ -1,0 +1,97 @@
+"""Read trace files back: format sniffing and line parsing.
+
+:class:`repro.sim.tracefile.TraceFileWriter` produces two formats; this
+module turns either back into ``{"t": float, "kind": str, **fields}``
+dicts — the same shape :func:`repro.metrics.replay.iter_trace` yields for
+jsonl — so `repro-trace` and offline analyses work on both.
+
+The jsonl format is lossless.  The text format is for humans: values are
+re-read by literal-guessing (int, float, bool, None, else string), and
+values containing spaces or ``=`` do not survive the round trip — use
+jsonl when the trace feeds a tool rather than a person.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+def parse_value(text: str) -> Any:
+    """Best-effort typed read of a text-format field value."""
+    if text == "None":
+        return None
+    if text == "True":
+        return True
+    if text == "False":
+        return False
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        return text
+
+
+def parse_text_line(line: str) -> Dict[str, Any]:
+    """``12.081672 mac.tx node=17 frame_kind=rts`` -> record dict."""
+    parts = line.split()
+    if len(parts) < 2:
+        raise ValueError(f"malformed trace line: {line!r}")
+    record: Dict[str, Any] = {"t": float(parts[0]), "kind": parts[1]}
+    for chunk in parts[2:]:
+        key, sep, value = chunk.partition("=")
+        if not sep:
+            raise ValueError(f"malformed field {chunk!r} in line: {line!r}")
+        record[key] = parse_value(value)
+    return record
+
+
+def sniff_format(path: PathLike) -> str:
+    """``"jsonl"`` or ``"text"``, by suffix then first non-empty line."""
+    target = Path(path)
+    if target.suffix in (".jsonl", ".json"):
+        return "jsonl"
+    with target.open() as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                return "jsonl" if line.startswith("{") else "text"
+    return "text"
+
+
+def iter_records(path: PathLike, fmt: Optional[str] = None) -> Iterator[Dict[str, Any]]:
+    """Yield the records of a trace file in either format.
+
+    Comment lines (leading ``#``, e.g. a flight-recorder header) and blank
+    lines are skipped.
+    """
+    fmt = fmt or sniff_format(path)
+    if fmt not in ("text", "jsonl"):
+        raise ValueError(f"unknown trace format {fmt!r}")
+    with Path(path).open() as handle:
+        for line in handle:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            yield json.loads(line) if fmt == "jsonl" else parse_text_line(line)
+
+
+def render_text(record: Dict[str, Any]) -> str:
+    """Record dict -> one text-format trace line (TraceFileWriter-equal)."""
+    fields = " ".join(
+        f"{key}={value}"
+        for key, value in sorted(record.items())
+        if key not in ("t", "kind")
+    )
+    return f"{record['t']:.6f} {record['kind']} {fields}".rstrip()
+
+
+def render_jsonl(record: Dict[str, Any]) -> str:
+    """Record dict -> one jsonl trace line (TraceFileWriter-equal)."""
+    return json.dumps(record, default=str, sort_keys=True)

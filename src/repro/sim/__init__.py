@@ -5,7 +5,7 @@ deterministic, event-driven scheduler plus supporting utilities (timers,
 seeded random-stream management, and structured tracing).
 """
 
-from repro.sim.engine import Event, Simulator
+from repro.sim.engine import Event, ProfileEntry, Simulator, SimulatorStats
 from repro.sim.timers import PeriodicTimer, Timer
 from repro.sim.rng import RandomStreams
 from repro.sim.trace import NullTracer, TraceRecord, Tracer
@@ -13,7 +13,9 @@ from repro.sim.tracefile import TraceFileWriter
 
 __all__ = [
     "Event",
+    "ProfileEntry",
     "Simulator",
+    "SimulatorStats",
     "Timer",
     "PeriodicTimer",
     "RandomStreams",

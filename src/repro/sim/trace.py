@@ -47,6 +47,29 @@ class Tracer:
         else:
             self._subscribers.setdefault(kind, []).append(fn)
 
+    def unsubscribe(self, kind: str, fn: Subscriber) -> None:
+        """Detach ``fn`` from ``kind`` (``"*"`` for a wildcard subscription).
+
+        Raises :class:`ValueError` if ``fn`` is not currently subscribed — a
+        silent no-op would hide double-detach bugs in short-lived subscribers
+        (flight recorders, interval snapshotters) that attach per run.
+
+        Removing the last subscriber of a kind restores ``wants(kind)`` to
+        False, so guarded hot-path emits go back to costing one dict lookup.
+        """
+        if kind == "*":
+            try:
+                self._wildcard.remove(fn)
+            except ValueError:
+                raise ValueError(f"{fn!r} has no wildcard subscription") from None
+            return
+        listeners = self._subscribers.get(kind)
+        if not listeners or fn not in listeners:
+            raise ValueError(f"{fn!r} is not subscribed to kind {kind!r}")
+        listeners.remove(fn)
+        if not listeners:
+            del self._subscribers[kind]
+
     def wants(self, kind: str) -> bool:
         """True if emitting ``kind`` would reach at least one subscriber."""
         return bool(self._wildcard) or kind in self._subscribers

@@ -5,16 +5,26 @@ for offline analysis: one line per trace record, either a compact
 whitespace format (``text``) or JSON lines (``jsonl``).  Attach before the
 run, ``close()`` (or use as a context manager) afterwards.
 
+Durability contract: the context manager closes (and therefore flushes)
+the file *even when an exception is propagating*, so an aborted run keeps
+every record written before the fault; ``flush()`` is available as an
+explicit mid-run checkpoint; ``close()`` is idempotent and detaches the
+writer from the tracer so no callback leaks into a later run on the same
+tracer.
+
 Example line (text format)::
 
     12.081672 mac.tx node=17 frame_kind=rts dst=31 pkt_kind=None
+
+The jsonl format is the faithful one (typed values, round-trips through
+``repro.metrics.replay``); the text format is for eyeballs and greps.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import IO, Iterable, Optional, Union
+from typing import IO, Dict, Iterable, Optional, Union
 
 from repro.sim.trace import TraceRecord, Tracer
 
@@ -36,12 +46,17 @@ class TraceFileWriter:
         self.path = Path(path)
         self.fmt = fmt
         self.records_written = 0
+        #: Records written so far, broken down by record kind.
+        self.counts_by_kind: Dict[str, int] = {}
+        self._tracer = tracer
+        self._kinds: Optional[list] = None if kinds is None else list(kinds)
         self._handle: Optional[IO[str]] = self.path.open("w")
-        if kinds is None:
+        if self._kinds is None:
             tracer.subscribe("*", self._write)
         else:
-            for kind in kinds:
+            for kind in self._kinds:
                 tracer.subscribe(kind, self._write)
+        self._attached = True
 
     def _write(self, record: TraceRecord) -> None:
         if self._handle is None:
@@ -59,14 +74,44 @@ class TraceFileWriter:
             line = f"{record.time:.6f} {record.kind} {fields}".rstrip()
         self._handle.write(line + "\n")
         self.records_written += 1
+        kind = record.kind
+        self.counts_by_kind[kind] = self.counts_by_kind.get(kind, 0) + 1
+
+    def flush(self) -> None:
+        """Push buffered lines to the OS — a crash-durability checkpoint."""
+        if self._handle is not None:
+            self._handle.flush()
+
+    def detach(self) -> None:
+        """Unsubscribe from the tracer (keeps the file open); idempotent."""
+        if not self._attached:
+            return
+        self._attached = False
+        if self._kinds is None:
+            self._tracer.unsubscribe("*", self._write)
+        else:
+            for kind in self._kinds:
+                self._tracer.unsubscribe(kind, self._write)
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        """Detach, flush and close the file.
+
+        Idempotent, and safe when the run aborted mid-write: the handle is
+        released (and the writer neutered) even if the final flush raises.
+        """
+        self.detach()
+        handle, self._handle = self._handle, None
+        if handle is None:
+            return
+        try:
+            handle.flush()
+        finally:
+            handle.close()
 
     def __enter__(self) -> "TraceFileWriter":
         return self
 
     def __exit__(self, *exc_info) -> None:
+        # Deliberately unconditional: a propagating exception must still
+        # flush+close so the records leading up to the fault survive.
         self.close()

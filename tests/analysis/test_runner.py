@@ -215,6 +215,76 @@ def test_cost_estimate_orders_hard_points_first():
     assert estimate_cost(loaded) > estimate_cost(constant_motion)
 
 
+def test_progress_carries_sweep_telemetry(tmp_path):
+    cache = ResultCache(tmp_path)
+    [first] = run_many([_config(seed=1)], processes=1)
+    cache.put(scenario_hash(_config(seed=1)), first)
+
+    updates = []
+    engine = SweepEngine(processes=1, cache=cache, progress=updates.append)
+    engine.run([_config(seed=1), _config(seed=2)])
+    initial, final = updates[0], updates[-1]
+    assert initial.last_task_wall_s is None
+    assert initial.task_wall_total_s == 0.0
+    assert initial.disk_cache_hits == 1
+    assert final.last_task_wall_s > 0.0
+    assert final.task_wall_total_s > 0.0
+    assert final.disk_cache_hits == 1
+
+
+# -- run manifest ------------------------------------------------------------
+
+
+def test_report_records_per_task_walls():
+    engine = SweepEngine(processes=1)
+    report = engine.run([_config(seed=1), _config(seed=2), _config(seed=1)])
+    # One wall per executed simulation, keyed by scenario hash.
+    assert set(report.task_walls) == {
+        scenario_hash(_config(seed=1)),
+        scenario_hash(_config(seed=2)),
+    }
+    assert all(wall > 0.0 for wall in report.task_walls.values())
+    assert engine.total_task_wall_s == pytest.approx(
+        sum(report.task_walls.values())
+    )
+
+
+def test_manifest_written_next_to_cache(tmp_path):
+    import json
+
+    cache = ResultCache(tmp_path)
+    engine = SweepEngine(processes=1, cache=cache)
+    engine.run([_config(seed=1)])
+    engine.run([_config(seed=1), _config(seed=2)])
+
+    manifest = tmp_path / "manifest.jsonl"
+    assert engine.manifest_path == manifest
+    lines = [json.loads(line) for line in manifest.read_text().splitlines()]
+    assert [entry["batch"] for entry in lines] == [1, 2]
+    first, second = lines
+    assert first["executed"] == 1
+    assert len(first["tasks"]) == 1
+    assert first["tasks"][0]["wall_s"] > 0.0
+    assert first["cache"]["stores"] == 1
+    # Second batch: seed-1 came from the session memo, only seed-2 ran.
+    assert second["executed"] == 1
+    assert second["task_wall_total_s"] == pytest.approx(
+        sum(task["wall_s"] for task in second["tasks"])
+    )
+
+
+def test_manifest_explicit_path_without_cache(tmp_path):
+    engine = SweepEngine(processes=1, manifest_path=tmp_path / "runs" / "m.jsonl")
+    engine.run([_config(seed=1)])
+    assert (tmp_path / "runs" / "m.jsonl").exists()
+
+
+def test_no_manifest_without_cache_or_path(tmp_path):
+    engine = SweepEngine(processes=1)
+    assert engine.manifest_path is None
+    engine.run([_config(seed=1)])  # must not write anywhere
+
+
 def test_progress_reports_completed_cached_and_eta(tmp_path):
     cache = ResultCache(tmp_path)
     [first] = run_many([_config(seed=1)], processes=1)

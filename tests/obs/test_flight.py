@@ -1,0 +1,86 @@
+"""Unit tests for the flight recorder."""
+
+import pytest
+
+from repro.obs.flight import FlightRecorder
+from repro.sim.trace import Tracer
+
+
+def test_ring_keeps_only_the_newest_records():
+    tracer = Tracer()
+    recorder = FlightRecorder(tracer, capacity=3)
+    for i in range(5):
+        tracer.emit(float(i), "k", n=i)
+    assert len(recorder) == 3
+    assert [r.fields["n"] for r in recorder.records] == [2, 3, 4]
+    assert recorder.records_seen == 5
+
+
+def test_kind_filter_records_selectively():
+    tracer = Tracer()
+    recorder = FlightRecorder(tracer, capacity=10, kinds=["mac.fail"])
+    tracer.emit(1.0, "mac.tx", node=1)
+    tracer.emit(2.0, "mac.fail", node=2)
+    assert [r.kind for r in recorder.records] == ["mac.fail"]
+    # A kind-filtered recorder does not force unrelated guarded emits.
+    assert not tracer.wants("mac.tx")
+
+
+def test_rejects_non_positive_capacity():
+    with pytest.raises(ValueError):
+        FlightRecorder(Tracer(), capacity=0)
+
+
+def test_detach_is_idempotent_and_keeps_ring_readable():
+    tracer = Tracer()
+    recorder = FlightRecorder(tracer, capacity=4)
+    tracer.emit(1.0, "k")
+    recorder.detach()
+    recorder.detach()
+    tracer.emit(2.0, "k")  # no longer recorded
+    assert len(recorder) == 1
+    assert not tracer.wants("k")
+
+
+def test_format_header_reports_evictions():
+    tracer = Tracer()
+    recorder = FlightRecorder(tracer, capacity=2)
+    for i in range(3):
+        tracer.emit(float(i), "k", n=i)
+    text = recorder.format()
+    lines = text.splitlines()
+    assert lines[0].startswith("# flight recorder: last 2 of 3 record(s)")
+    assert "1 older evicted" in lines[0]
+    assert lines[1] == "1.000000 k n=1"
+
+
+def test_dump_writes_parseable_trace(tmp_path):
+    from repro.obs.traceio import iter_records
+
+    tracer = Tracer()
+    recorder = FlightRecorder(tracer, capacity=8)
+    tracer.emit(1.5, "mac.tx", node=3, frame_kind="rts")
+    path = recorder.dump(tmp_path / "flight.txt")
+    records = list(iter_records(path))  # header comment is skipped
+    assert records == [{"t": 1.5, "kind": "mac.tx", "node": 3, "frame_kind": "rts"}]
+
+
+def test_armed_dumps_on_exception_and_reraises(tmp_path):
+    tracer = Tracer()
+    recorder = FlightRecorder(tracer, capacity=8)
+    path = tmp_path / "crash.txt"
+    with pytest.raises(RuntimeError):
+        with recorder.armed(path):
+            tracer.emit(1.0, "k", n=1)
+            raise RuntimeError("fault")
+    assert path.exists()
+    assert "1.000000 k n=1" in path.read_text()
+
+
+def test_armed_does_not_dump_on_success(tmp_path):
+    tracer = Tracer()
+    recorder = FlightRecorder(tracer, capacity=8)
+    path = tmp_path / "crash.txt"
+    with recorder.armed(path):
+        tracer.emit(1.0, "k")
+    assert not path.exists()

@@ -1,0 +1,80 @@
+"""The observability layer's core contract: bit-identical simulation metrics.
+
+Every observer (interval metrics, profiler, flight recorder, trace writer)
+only subscribes, samples or reads — the simulation itself must be a pure
+function of its scenario whether observation is on or off.
+"""
+
+import pytest
+
+from repro.obs import Observability
+from repro.scenarios.builder import build_simulation
+from repro.scenarios.presets import tiny_scenario
+
+
+def _config():
+    return tiny_scenario(seed=7).but(duration=20.0)
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return build_simulation(_config()).run()
+
+
+def test_full_observability_is_bit_identical(baseline, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("obs")
+    handle = build_simulation(_config())
+    obs = Observability(
+        metrics_interval=5.0, profile=True, flight_capacity=64
+    ).attach(handle)
+    result = obs.run(handle, flight_dump_path=tmp_path / "flight.txt")
+    assert result == baseline
+
+
+def test_trace_writer_is_bit_identical(baseline, tmp_path):
+    from repro.sim.tracefile import TraceFileWriter
+
+    handle = build_simulation(_config())
+    with TraceFileWriter(handle.tracer, tmp_path / "run.jsonl", fmt="jsonl"):
+        result = handle.run()
+    assert result == baseline
+
+
+def test_metrics_rows_reconcile_with_final_result(baseline):
+    handle = build_simulation(_config())
+    obs = Observability(metrics_interval=5.0).attach(handle)
+    result = obs.run(handle)
+    rows = obs.interval_metrics.rows
+    assert sum(row["data.sent"] for row in rows) == result.data_sent
+    assert sum(row["data.received"] for row in rows) == result.data_received
+    assert sum(row["rreq.sent"] for row in rows) == result.rreq_sent
+    assert sum(row["link.breaks"] for row in rows) == result.link_breaks
+
+
+def _subscription_state(tracer):
+    return (
+        {kind: len(fns) for kind, fns in tracer._subscribers.items()},
+        len(tracer._wildcard),
+    )
+
+
+def test_observability_detach_leaves_tracer_clean():
+    handle = build_simulation(_config())
+    baseline = _subscription_state(handle.tracer)  # the collector's wiring
+    obs = Observability(metrics_interval=5.0, flight_capacity=16).attach(handle)
+    assert _subscription_state(handle.tracer) != baseline
+    obs.detach()
+    assert _subscription_state(handle.tracer) == baseline
+
+
+def test_default_observability_attaches_nothing():
+    handle = build_simulation(_config())
+    baseline = _subscription_state(handle.tracer)
+    obs = Observability()
+    assert not obs.enabled
+    obs.attach(handle)
+    assert obs.interval_metrics is None
+    assert obs.profiler is None
+    assert obs.flight is None
+    assert _subscription_state(handle.tracer) == baseline
+    assert not handle.tracer.wants("no.such.kind")  # no wildcard leaked

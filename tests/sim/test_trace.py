@@ -58,3 +58,58 @@ def test_null_tracer_drops_everything():
     tracer.subscribe("k", seen.append)
     tracer.emit(0.0, "k")
     assert seen == []
+
+
+def test_unsubscribe_stops_delivery():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("k", seen.append)
+    tracer.emit(1.0, "k")
+    tracer.unsubscribe("k", seen.append)
+    tracer.emit(2.0, "k")
+    assert [record.time for record in seen] == [1.0]
+
+
+def test_unsubscribe_restores_wants_false():
+    tracer = Tracer()
+    fn = lambda record: None
+    tracer.subscribe("k", fn)
+    assert tracer.wants("k")
+    tracer.unsubscribe("k", fn)
+    assert not tracer.wants("k")
+
+
+def test_unsubscribe_keeps_other_subscribers():
+    tracer = Tracer()
+    a, b = [], []
+    tracer.subscribe("k", a.append)
+    tracer.subscribe("k", b.append)
+    tracer.unsubscribe("k", a.append)
+    tracer.emit(0.0, "k")
+    assert a == [] and len(b) == 1
+    assert tracer.wants("k")
+
+
+def test_unsubscribe_wildcard():
+    tracer = Tracer()
+    seen = []
+    tracer.subscribe("*", seen.append)
+    tracer.unsubscribe("*", seen.append)
+    tracer.emit(0.0, "anything")
+    assert seen == []
+    assert not tracer.wants("anything")
+
+
+def test_unsubscribe_unknown_raises():
+    import pytest
+
+    tracer = Tracer()
+    with pytest.raises(ValueError):
+        tracer.unsubscribe("k", lambda record: None)
+    with pytest.raises(ValueError):
+        tracer.unsubscribe("*", lambda record: None)
+    fn = lambda record: None
+    tracer.subscribe("k", fn)
+    tracer.unsubscribe("k", fn)
+    with pytest.raises(ValueError):  # double detach is a bug, not a no-op
+        tracer.unsubscribe("k", fn)

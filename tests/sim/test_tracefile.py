@@ -53,6 +53,56 @@ def test_rejects_unknown_format(tmp_path):
         TraceFileWriter(Tracer(), tmp_path / "x", fmt="xml")
 
 
+def test_flush_is_a_durability_checkpoint(tmp_path):
+    tracer = Tracer()
+    path = tmp_path / "trace.txt"
+    writer = TraceFileWriter(tracer, path)
+    tracer.emit(1.0, "k", a=1)
+    writer.flush()
+    # Visible on disk before close.
+    assert len(path.read_text().splitlines()) == 1
+    writer.close()
+
+
+def test_counts_by_kind(tmp_path):
+    tracer = Tracer()
+    with TraceFileWriter(tracer, tmp_path / "t.txt") as writer:
+        tracer.emit(1.0, "mac.tx", node=1)
+        tracer.emit(2.0, "mac.tx", node=2)
+        tracer.emit(3.0, "app.send", uid=1)
+    assert writer.counts_by_kind == {"mac.tx": 2, "app.send": 1}
+    assert writer.records_written == 3
+
+
+def test_close_is_idempotent(tmp_path):
+    tracer = Tracer()
+    writer = TraceFileWriter(tracer, tmp_path / "t.txt")
+    tracer.emit(1.0, "k")
+    writer.close()
+    writer.close()  # second close must not raise
+    assert writer.records_written == 1
+
+
+def test_exit_flushes_when_exception_propagates(tmp_path):
+    tracer = Tracer()
+    path = tmp_path / "t.txt"
+    with pytest.raises(RuntimeError):
+        with TraceFileWriter(tracer, path):
+            tracer.emit(1.0, "k", a=1)
+            tracer.emit(2.0, "k", a=2)
+            raise RuntimeError("simulated fault")
+    # Records written before the fault survive on disk.
+    assert len(path.read_text().splitlines()) == 2
+
+
+def test_close_detaches_subscription(tmp_path):
+    tracer = Tracer()
+    writer = TraceFileWriter(tracer, tmp_path / "t.txt")
+    assert tracer.wants("anything")  # wildcard attached
+    writer.close()
+    assert not tracer.wants("anything")
+
+
 def test_full_simulation_trace(tmp_path):
     from repro.scenarios.presets import tiny_scenario
     from repro.scenarios.builder import build_simulation

@@ -118,3 +118,61 @@ def test_cli_no_cache_flag_disables_cache(tmp_path, capsys):
     assert exit_code == 0
     assert not (tmp_path / "cache").exists()
     assert "result cache" not in capsys.readouterr().err
+
+
+# -- observability flags ------------------------------------------------------
+
+
+_TINY = ["--preset", "tiny", "--duration", "15", "--seed", "3"]
+
+
+def test_cli_observability_output_is_bit_identical(tmp_path, capsys):
+    assert main(list(_TINY)) == 0
+    plain = capsys.readouterr().out
+
+    assert (
+        main(
+            [
+                *_TINY,
+                "--trace", str(tmp_path / "run.jsonl"),
+                "--metrics", str(tmp_path / "metrics.jsonl"),
+                "--profile",
+                "--flight-recorder", str(tmp_path / "flight.txt"),
+            ]
+        )
+        == 0
+    )
+    observed = capsys.readouterr()
+    assert observed.out == plain
+    assert "trace written" in observed.err
+    assert "metrics written" in observed.err
+    assert "engine profile:" in observed.err
+    assert (tmp_path / "run.jsonl").exists()
+    assert (tmp_path / "metrics.jsonl").exists()
+    assert (tmp_path / "flight.txt").exists()
+
+
+def test_cli_trace_feeds_repro_trace(tmp_path, capsys):
+    from repro.obs import tracecli
+
+    trace = tmp_path / "run.jsonl"
+    assert main([*_TINY, "--trace", str(trace)]) == 0
+    capsys.readouterr()
+    assert tracecli.main(["summarize", str(trace)]) == 0
+    out = capsys.readouterr().out
+    assert "format   : jsonl" in out
+    assert "app.send" in out
+
+
+def test_cli_metrics_csv_by_suffix(tmp_path, capsys):
+    metrics = tmp_path / "metrics.csv"
+    assert main([*_TINY, "--metrics", str(metrics), "--metrics-interval", "5"]) == 0
+    capsys.readouterr()
+    header = metrics.read_text().splitlines()[0]
+    assert "delivery_ratio" in header.split(",")
+
+
+def test_cli_observability_conflicts_with_seeds(capsys):
+    code = main([*_TINY, "--seeds", "1,2", "--profile"])
+    assert code == 2
+    assert "cannot be combined with --seeds" in capsys.readouterr().err
