@@ -23,17 +23,26 @@ Key design:
 The store layout is ``<root>/<key[:2]>/<key>.json`` (git-object style
 fan-out) and writes go through a temp file + ``os.replace`` so a crashed
 worker can never leave a half-written entry that later loads.
+
+The store is garbage-collected rather than unbounded: :meth:`ResultCache.prune`
+evicts least-recently-used entries past a byte budget and/or an age limit.
+``get()`` refreshes an entry's mtime on every hit, so "recently used" means
+recently *read*, not recently written.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import hashlib
+import itertools
 import json
 import os
+import re
+import threading
+import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.metrics.collector import SimulationResult
 from repro.scenarios.config import ScenarioConfig
@@ -82,6 +91,11 @@ class CacheStats:
         return dataclasses.asdict(self)
 
 
+#: Distinguishes concurrent writers within one process; combined with the
+#: PID it makes every in-flight temp file unique across the whole host.
+_tmp_seq = itertools.count()
+
+
 class ResultCache:
     """On-disk content-addressed store of :class:`SimulationResult` records."""
 
@@ -114,7 +128,16 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
+        self._touch(path)
         return result
+
+    @staticmethod
+    def _touch(path: Path) -> None:
+        """Refresh ``path``'s mtime so LRU pruning sees the entry as used."""
+        try:
+            os.utime(path)
+        except OSError:
+            pass  # entry may have been pruned/replaced concurrently
 
     def put(self, key: str, result: SimulationResult) -> Path:
         """Persist ``result`` under ``key`` (atomic: temp file + rename)."""
@@ -125,7 +148,9 @@ class ResultCache:
             "scenario_hash": key,
             "result": result_to_payload(result),
         }
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp = path.with_suffix(
+            f".tmp.{os.getpid()}.{threading.get_ident()}.{next(_tmp_seq)}"
+        )
         tmp.write_text(json.dumps(entry, sort_keys=True))
         os.replace(tmp, path)
         self.stats.stores += 1
@@ -144,3 +169,144 @@ class ResultCache:
             path.unlink(missing_ok=True)
             removed += 1
         return removed
+
+    def prune(
+        self,
+        max_bytes: Optional[int] = None,
+        max_age_s: Optional[float] = None,
+        now: Optional[float] = None,
+    ) -> PruneReport:
+        """Evict entries until the store fits ``max_bytes`` and nothing is
+        older than ``max_age_s``.
+
+        Age and recency are measured from each entry's mtime, which
+        :meth:`get` refreshes on every hit — so the size budget evicts
+        least-recently-*used* entries first, and the age limit drops entries
+        nobody has read for ``max_age_s`` seconds.  ``now`` defaults to the
+        current wall clock; tests pin it for determinism.  Stale temp files
+        from crashed writers are removed on every call.
+        """
+        if now is None:
+            now = time.time()  # repro-lint: disable=DET001
+        for tmp in self.root.glob("*/*.tmp.*"):
+            tmp.unlink(missing_ok=True)
+        entries: List[Tuple[float, int, Path]] = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # deleted by a concurrent writer/pruner
+            entries.append((stat.st_mtime, stat.st_size, path))
+        report = PruneReport(scanned=len(entries))
+        kept_bytes = sum(size for _, size, _ in entries)
+
+        def evict(size: int, path: Path, why: str) -> None:
+            nonlocal kept_bytes
+            path.unlink(missing_ok=True)
+            kept_bytes -= size
+            report.removed += 1
+            report.removed_bytes += size
+            if why == "age":
+                report.removed_by_age += 1
+            else:
+                report.removed_by_size += 1
+
+        survivors: List[Tuple[float, int, Path]] = []
+        for mtime, size, path in entries:
+            if max_age_s is not None and now - mtime > max_age_s:
+                evict(size, path, "age")
+            else:
+                survivors.append((mtime, size, path))
+        if max_bytes is not None and kept_bytes > max_bytes:
+            survivors.sort()  # oldest mtime first = least recently used
+            for _mtime, size, path in survivors:
+                if kept_bytes <= max_bytes:
+                    break
+                evict(size, path, "size")
+        report.kept = report.scanned - report.removed
+        report.kept_bytes = kept_bytes
+        return report
+
+
+@dataclass
+class PruneReport:
+    """What one :meth:`ResultCache.prune` pass scanned, evicted and kept."""
+
+    scanned: int = 0
+    removed: int = 0
+    removed_bytes: int = 0
+    removed_by_age: int = 0
+    removed_by_size: int = 0
+    kept: int = 0
+    kept_bytes: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"pruned {self.removed}/{self.scanned} entries "
+            f"({self.removed_bytes} B; {self.removed_by_age} by age, "
+            f"{self.removed_by_size} by size), kept {self.kept} "
+            f"({self.kept_bytes} B)"
+        )
+
+
+_PRUNE_SIZE_UNITS: Dict[str, int] = {
+    "b": 1,
+    "kb": 10**3,
+    "mb": 10**6,
+    "gb": 10**9,
+    "kib": 2**10,
+    "mib": 2**20,
+    "gib": 2**30,
+}
+
+_PRUNE_AGE_UNITS: Dict[str, float] = {
+    "s": 1.0,
+    "m": 60.0,
+    "h": 3600.0,
+    "d": 86400.0,
+    "w": 604800.0,
+}
+
+_PRUNE_PART = re.compile(r"^(?P<number>\d+(?:\.\d+)?)\s*(?P<unit>[a-z]+)$")
+
+
+def parse_prune_spec(spec: str) -> Tuple[Optional[int], Optional[float]]:
+    """Parse a ``--cache-prune`` spec into ``(max_bytes, max_age_s)``.
+
+    The spec is comma-separated size and/or age bounds: ``"500MB"``,
+    ``"7d"``, ``"1GiB,30d"``.  Size units: B/KB/MB/GB (decimal) and
+    KiB/MiB/GiB (binary); age units: s/m/h/d/w.  At least one bound is
+    required; each kind may appear at most once.
+    """
+    max_bytes: Optional[int] = None
+    max_age_s: Optional[float] = None
+    for raw in spec.split(","):
+        part = raw.strip().lower()
+        if not part:
+            continue
+        match = _PRUNE_PART.match(part)
+        if match is None:
+            raise ValueError(
+                f"bad prune bound {raw!r}: expected <number><unit> like 500MB or 7d"
+            )
+        number = float(match.group("number"))
+        unit = match.group("unit")
+        if unit in _PRUNE_SIZE_UNITS:
+            if max_bytes is not None:
+                raise ValueError(f"duplicate size bound in prune spec {spec!r}")
+            max_bytes = int(number * _PRUNE_SIZE_UNITS[unit])
+        elif unit in _PRUNE_AGE_UNITS:
+            if max_age_s is not None:
+                raise ValueError(f"duplicate age bound in prune spec {spec!r}")
+            max_age_s = number * _PRUNE_AGE_UNITS[unit]
+        else:
+            raise ValueError(
+                f"bad prune unit {unit!r} in {raw!r}: size units are "
+                "B/KB/MB/GB/KiB/MiB/GiB, age units are s/m/h/d/w"
+            )
+    if max_bytes is None and max_age_s is None:
+        raise ValueError(f"empty prune spec {spec!r}: give a size and/or age bound")
+    return max_bytes, max_age_s

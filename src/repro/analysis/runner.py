@@ -103,6 +103,27 @@ class SweepExecutionError(RuntimeError):
         )
 
 
+class SweepInterrupted(RuntimeError):
+    """A sweep was stopped (Ctrl-C / SIGINT) before every task finished.
+
+    Raised by :meth:`SweepEngine.run` in place of the raw
+    :class:`KeyboardInterrupt`: the worker pool has been terminated, every
+    result settled so far has already been written to the cache, and a
+    manifest line with ``"interrupted": true`` records the partial batch —
+    so simply re-running the same sweep resumes from the cache.
+    """
+
+    def __init__(self, completed: int, abandoned: int, total: int):
+        self.completed = completed
+        self.abandoned = abandoned
+        self.total = total
+        super().__init__(
+            f"sweep interrupted: {completed}/{total} config(s) resolved, "
+            f"{abandoned} task(s) abandoned (completed work is cached; "
+            "re-run to resume)"
+        )
+
+
 @dataclass(frozen=True)
 class ProgressUpdate:
     """Snapshot passed to the progress callback after every completion."""
@@ -275,29 +296,11 @@ class SweepEngine:
             for index in pending[key]:
                 results[index] = result
 
-        note_progress()
-        for key, result, error, wall in self._completions(tasks, processes):
-            last_wall[0] = wall
-            if error is not None:
-                failures[key] = error
-            else:
-                executed += 1
-                task_walls[key] = wall
-                settle(key, result)
+        completions = self._completions(tasks, processes)
+        interrupted = False
+        try:
             note_progress()
-
-        # Bounded in-parent retry of everything that failed, whatever the
-        # cause (worker exception or crash) — deterministic and unaffected
-        # by pool state.
-        guarded = functools.partial(_guarded, self._task_fn)
-        for _attempt in range(self.retries):
-            if not failures:
-                break
-            retry_tasks = [(key, payloads[pending[key][0]]) for key in failures]
-            failures = {}
-            for task in retry_tasks:
-                retries += 1
-                key, result, error, wall = guarded(task)
+            for key, result, error, wall in completions:
                 last_wall[0] = wall
                 if error is not None:
                     failures[key] = error
@@ -306,7 +309,36 @@ class SweepEngine:
                     task_walls[key] = wall
                     settle(key, result)
                 note_progress()
-        if failures:
+
+            # Bounded in-parent retry of everything that failed, whatever the
+            # cause (worker exception or crash) — deterministic and unaffected
+            # by pool state.
+            guarded = functools.partial(_guarded, self._task_fn)
+            for _attempt in range(self.retries):
+                if not failures:
+                    break
+                retry_tasks = [
+                    (key, payloads[pending[key][0]]) for key in failures
+                ]
+                failures = {}
+                for task in retry_tasks:
+                    retries += 1
+                    key, result, error, wall = guarded(task)
+                    last_wall[0] = wall
+                    if error is not None:
+                        failures[key] = error
+                    else:
+                        executed += 1
+                        task_walls[key] = wall
+                        settle(key, result)
+                    note_progress()
+        except KeyboardInterrupt:
+            interrupted = True
+        finally:
+            # Terminates the pool when we stopped mid-drain (generator close
+            # runs the Pool context manager's __exit__); no-op when drained.
+            completions.close()
+        if failures and not interrupted:
             raise SweepExecutionError(failures)
 
         self.total_executed += executed
@@ -316,7 +348,9 @@ class SweepEngine:
         self.total_task_wall_s += sum(task_walls.values())
         self._batches += 1
         report = RunReport(
-            results=list(results),  # type: ignore[arg-type]  # all settled
+            # All settled, except on the interrupted path where the report
+            # only feeds the manifest and is never returned.
+            results=list(results),  # type: ignore[arg-type]
             total=len(payloads),
             executed=executed,
             cache_hits=cache_hits,
@@ -327,7 +361,14 @@ class SweepEngine:
             cache_stats=self.cache.stats if self.cache is not None else None,
             task_walls=task_walls,
         )
-        self._append_manifest(report)
+        self._append_manifest(report, interrupted=interrupted)
+        if interrupted:
+            completed = sum(1 for r in results if r is not None)
+            raise SweepInterrupted(
+                completed=completed,
+                abandoned=len(payloads) - completed,
+                total=len(payloads),
+            )
         return report
 
     def run_results(self, configs: Sequence[ScenarioConfig]) -> List[SimulationResult]:
@@ -376,12 +417,12 @@ class SweepEngine:
         """Engine-backed :func:`repro.analysis.series.compare_variants`."""
         return _compare_variants(variants, seeds, runner=self.run_results)
 
-    def _append_manifest(self, report: RunReport) -> None:
+    def _append_manifest(self, report: RunReport, interrupted: bool = False) -> None:
         """Persist one telemetry line for a finished batch (best effort)."""
         if self.manifest_path is None:
             return
         walls = sorted(report.task_walls.items(), key=lambda i: (-i[1], i[0]))
-        entry = {
+        entry: Dict[str, object] = {
             "batch": self._batches,
             "total": report.total,
             "executed": report.executed,
@@ -394,6 +435,8 @@ class SweepEngine:
                 {"key": key, "wall_s": round(wall, 6)} for key, wall in walls
             ],
         }
+        if interrupted:
+            entry["interrupted"] = True
         if report.cache_stats is not None:
             entry["cache"] = {
                 "hits": report.cache_stats.hits,

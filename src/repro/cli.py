@@ -14,6 +14,7 @@ from typing import Optional, Sequence
 
 from repro.core.config import PAPER_VARIANTS, DsrConfig, ExpiryMode
 from repro.scenarios import presets
+from repro.version import __version__
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -23,6 +24,9 @@ def _build_parser() -> argparse.ArgumentParser:
             "Run one DSR route-caching simulation (Marina & Das, ICDCS 2001 "
             "reproduction) and print the paper's metrics."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "--preset",
@@ -100,6 +104,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="ignore --cache-dir (always simulate, never read or write the cache)",
+    )
+    parser.add_argument(
+        "--cache-prune",
+        metavar="SPEC",
+        default=None,
+        help=(
+            "after the run, garbage-collect --cache-dir to the given bounds: "
+            "a size ('500MB', '1GiB'), an age ('7d', '12h'), or both "
+            "('1GiB,30d'); least-recently-used entries are evicted first"
+        ),
     )
     obs = parser.add_argument_group(
         "observability",
@@ -208,7 +222,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _run_and_report(args, config) -> int:
+    from repro.analysis.runner import SweepInterrupted
     from repro.scenarios.checks import check_scenario
+
+    prune_bounds = None
+    if args.cache_prune is not None:
+        if args.no_cache or args.cache_dir is None:
+            print(
+                "error: --cache-prune needs an effective cache "
+                "(give --cache-dir, drop --no-cache)",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.analysis.cache import parse_prune_spec
+
+        try:
+            prune_bounds = parse_prune_spec(args.cache_prune)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
 
     for warning in check_scenario(config):
         print(f"warning: {warning}", file=sys.stderr)
@@ -241,13 +273,23 @@ def _run_and_report(args, config) -> int:
             return 2
         engine = _build_engine(args)
         seeds = [int(chunk) for chunk in args.seeds.split(",") if chunk.strip()]
-        return _run_seed_average(args, config, seeds, engine)
+        try:
+            code = _run_seed_average(args, config, seeds, engine)
+        except SweepInterrupted as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return 130
+        _maybe_prune(args, prune_bounds)
+        return code
 
     if obs_requested:
         result = _run_observed(args, config)
     else:
         engine = _build_engine(args)
-        [result] = engine.run_results([config])
+        try:
+            [result] = engine.run_results([config])
+        except SweepInterrupted as exc:
+            print(f"interrupted: {exc}", file=sys.stderr)
+            return 130
         _report_engine(engine, file=sys.stderr)
 
     print(f"packet delivery fraction : {result.packet_delivery_fraction:.4f}")
@@ -264,6 +306,7 @@ def _run_and_report(args, config) -> int:
 
         path = result_to_json(result, args.json)
         print(f"result written           : {path}", file=sys.stderr)
+    _maybe_prune(args, prune_bounds)
     return 0
 
 
@@ -330,6 +373,19 @@ def _build_engine(args):
 
     cache_dir = None if getattr(args, "no_cache", False) else args.cache_dir
     return SweepEngine.create(processes=args.processes, cache_dir=cache_dir)
+
+
+def _maybe_prune(args, prune_bounds) -> None:
+    """Post-run cache GC for ``--cache-prune`` (no-op when not requested)."""
+    if prune_bounds is None:
+        return
+    from repro.analysis.cache import ResultCache
+
+    max_bytes, max_age_s = prune_bounds
+    report = ResultCache(args.cache_dir).prune(
+        max_bytes=max_bytes, max_age_s=max_age_s
+    )
+    print(f"cache gc                 : {report.summary()}", file=sys.stderr)
 
 
 def _report_engine(engine, file) -> None:

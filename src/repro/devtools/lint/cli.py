@@ -27,12 +27,17 @@ def _parse_codes(raw: Optional[str]) -> Optional[List[str]]:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.version import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-lint",
         description=(
             "AST-based determinism and simulation-invariant analyzer for "
             "the repro codebase."
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     parser.add_argument(
         "paths", nargs="*", type=Path, help="files or directories to lint"

@@ -29,9 +29,14 @@ _NODE_FIELDS = ("node", "src", "dst", "sender", "next_hop")
 
 
 def _build_parser() -> argparse.ArgumentParser:
+    from repro.version import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-trace",
         description="Inspect simulation trace files written by TraceFileWriter.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

@@ -1,0 +1,51 @@
+"""Long-running simulation service: job queue + HTTP API over the sweep engine.
+
+The service turns the batch-oriented :class:`~repro.analysis.runner.SweepEngine`
+into a shared, long-lived endpoint: clients POST scenarios, workers execute
+them against a shared content-addressed result cache (so repeated and
+concurrent submissions of the same scenario cost one simulation), a JSONL
+journal makes jobs survive restarts, and ``/metrics`` exposes serving
+telemetry through :mod:`repro.obs.instruments`.
+
+Layers:
+
+- :mod:`repro.service.core` — :class:`SimulationService`: queue, workers,
+  admission control, in-flight dedup, journal, drain.
+- :mod:`repro.service.http` — :class:`ServiceHTTPServer`: the JSON API.
+- :mod:`repro.service.client` — :class:`ServiceClient`: typed stdlib client.
+- :mod:`repro.service.cli` — ``repro-serve`` and ``repro-submit``.
+"""
+
+from repro.service.client import (
+    JobFailedError,
+    QueueFullError,
+    ServiceClient,
+    ServiceError,
+)
+from repro.service.core import (
+    JobNotCancellableError,
+    JobNotFoundError,
+    JobNotReadyError,
+    ServiceDrainingError,
+    SimulationService,
+)
+from repro.service.http import ServiceHTTPServer
+from repro.service.jobs import Job, JobState
+from repro.service.queue import AdmissionError, AdmissionPolicy
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionPolicy",
+    "Job",
+    "JobFailedError",
+    "JobNotCancellableError",
+    "JobNotFoundError",
+    "JobNotReadyError",
+    "JobState",
+    "QueueFullError",
+    "ServiceClient",
+    "ServiceDrainingError",
+    "ServiceError",
+    "ServiceHTTPServer",
+    "SimulationService",
+]

@@ -1,0 +1,240 @@
+"""Typed Python client for the simulation service HTTP API.
+
+Stdlib only (``urllib``).  Accepts :class:`ScenarioConfig` objects or
+payload dicts; returns real :class:`SimulationResult` records, rebuilt
+through the same codec the result cache uses — so a fetched result is
+``==`` to one computed locally from the same scenario.
+
+::
+
+    client = ServiceClient("http://127.0.0.1:8642")
+    job_id = client.submit([config.but(seed=s) for s in (1, 2, 3)])
+    status = client.wait(job_id, timeout=600)
+    results = client.results(job_id)
+"""
+# repro-lint: disable-file=DET001 -- poll deadlines are wall-clock by
+# nature; the client never touches simulation state.
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+
+from repro.analysis.cache import result_from_payload
+from repro.errors import ReproError
+from repro.metrics.collector import SimulationResult
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.io import scenario_to_dict
+
+ScenarioLike = Union[ScenarioConfig, Dict[str, Any]]
+
+
+class ServiceError(ReproError):
+    """An HTTP-level failure talking to the service."""
+
+    def __init__(self, message: str, status: Optional[int] = None) -> None:
+        super().__init__(message)
+        self.status = status
+
+
+class QueueFullError(ServiceError):
+    """The service refused admission (HTTP 429/503); retry later."""
+
+    def __init__(self, message: str, status: int, retry_after_s: float) -> None:
+        super().__init__(message, status)
+        self.retry_after_s = retry_after_s
+
+
+class JobFailedError(ServiceError):
+    """The job reached a terminal state with no results."""
+
+    def __init__(self, message: str, state: str) -> None:
+        super().__init__(message, 409)
+        self.state = state
+
+
+class ServiceClient:
+    """A thin, typed wrapper over the service's JSON API."""
+
+    def __init__(
+        self,
+        base_url: str,
+        client_id: str = "default",
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.client_id = client_id
+        self.timeout = timeout
+
+    # -- HTTP plumbing -------------------------------------------------------
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        ok_statuses: Sequence[int] = (200, 202),
+    ) -> Dict[str, Any]:
+        data = None
+        headers = {"X-Client": self.client_id}
+        if body is not None:
+            data = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            self.base_url + path, data=data, headers=headers, method=method
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                payload = self._decode(response)
+                status = response.status
+        except urllib.error.HTTPError as exc:
+            payload = self._decode(exc)
+            status = exc.code
+            if status in (429, 503):
+                raise QueueFullError(
+                    payload.get("error") or f"HTTP {status}",
+                    status,
+                    float(exc.headers.get("Retry-After") or 1.0),
+                ) from None
+            raise ServiceError(
+                payload.get("error") or f"HTTP {status}", status
+            ) from None
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from None
+        if status not in ok_statuses:
+            raise ServiceError(payload.get("error") or f"HTTP {status}", status)
+        payload["_status"] = status
+        return payload
+
+    @staticmethod
+    def _decode(response: Any) -> Dict[str, Any]:
+        try:
+            blob = response.read()
+            payload = json.loads(blob.decode("utf-8")) if blob else {}
+        except (ValueError, OSError):
+            payload = {}
+        return payload if isinstance(payload, dict) else {"body": payload}
+
+    # -- API -----------------------------------------------------------------
+
+    def submit(
+        self,
+        scenarios: Union[ScenarioLike, Sequence[ScenarioLike]],
+        priority: int = 0,
+    ) -> str:
+        """Submit scenario(s); returns the job id (job state: pending)."""
+        if isinstance(scenarios, (ScenarioConfig, dict)):
+            scenarios = [scenarios]
+        payloads = [
+            scenario_to_dict(s) if isinstance(s, ScenarioConfig) else dict(s)
+            for s in scenarios
+        ]
+        response = self._request(
+            "POST",
+            "/v1/jobs",
+            {"scenarios": payloads, "priority": priority, "client": self.client_id},
+            ok_statuses=(202,),
+        )
+        return str(response["id"])
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/v1/jobs/{job_id}")
+
+    def list_jobs(self) -> List[Dict[str, Any]]:
+        return list(self._request("GET", "/v1/jobs").get("jobs", []))
+
+    def results(self, job_id: str) -> List[SimulationResult]:
+        """The job's results; raises :class:`JobFailedError` on a terminal
+        failure and :class:`ServiceError` (status 202) while unfinished."""
+        try:
+            response = self._request(
+                "GET", f"/v1/jobs/{job_id}/result", ok_statuses=(200, 202)
+            )
+        except ServiceError as exc:
+            if exc.status == 409:
+                raise JobFailedError(str(exc), state="failed") from None
+            raise
+        if response["_status"] != 200:
+            raise ServiceError(
+                f"job {job_id} not finished: {response.get('state')}", 202
+            )
+        return [result_from_payload(p) for p in response["results"]]
+
+    def wait(
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        poll_interval: float = 0.2,
+        on_progress: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> Dict[str, Any]:
+        """Poll until the job is terminal; returns the final status dict."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        last_version: Optional[int] = None
+        while True:
+            status = self.status(job_id)
+            if on_progress is not None and status.get("version") != last_version:
+                last_version = status.get("version")
+                on_progress(status)
+            if status.get("state") in ("done", "failed", "cancelled"):
+                return status
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ServiceError(
+                    f"timed out after {timeout:g}s waiting for job {job_id} "
+                    f"(state: {status.get('state')})"
+                )
+            time.sleep(poll_interval)
+
+    def fetch(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> List[SimulationResult]:
+        """Wait for completion, then return the results."""
+        status = self.wait(job_id, timeout=timeout)
+        if status.get("state") != "done":
+            raise JobFailedError(
+                f"job {job_id} ended {status.get('state')}: {status.get('error')}",
+                state=str(status.get("state")),
+            )
+        return self.results(job_id)
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("DELETE", f"/v1/jobs/{job_id}")
+
+    def health(self) -> Dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def metrics_text(self) -> str:
+        request = urllib.request.Request(
+            self.base_url + "/metrics", headers={"X-Client": self.client_id}
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ServiceError(f"cannot reach {self.base_url}: {exc}") from None
+
+    def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
+        """Iterate the job's SSE stream as ``{"event": ..., "data": {...}}``
+        dicts; ends when the server sends the terminal ``done`` event."""
+        request = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/events",
+            headers={"X-Client": self.client_id},
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            event: Dict[str, Any] = {}
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n")
+                if line.startswith("event: "):
+                    event["event"] = line[len("event: "):]
+                elif line.startswith("data: "):
+                    try:
+                        event["data"] = json.loads(line[len("data: "):])
+                    except ValueError:
+                        event["data"] = line[len("data: "):]
+                elif not line and event:
+                    yield event
+                    if event.get("event") == "done":
+                        return
+                    event = {}

@@ -1,0 +1,515 @@
+"""The simulation service: a job-serving layer over :class:`SweepEngine`.
+
+``SimulationService`` turns one-shot sweep execution into a long-running
+serving system:
+
+* **Admission control** — submissions are validated (every payload must
+  rebuild into a :class:`ScenarioConfig`) and bounded (queue depth,
+  per-client in-flight limits) *at the door*; accepted jobs are never
+  dropped.
+* **A worker pool** — ``workers`` threads drain a priority queue; each
+  job executes through a fresh :class:`SweepEngine` sharing the service's
+  content-addressed result cache, so warm-cache jobs resolve without
+  simulating and cold results persist for every later job.
+* **In-flight dedup** — concurrent jobs that share a scenario coalesce:
+  the first worker to claim a ``scenario_hash`` executes it, the others
+  follow its flight and receive the same result.  Combined with the disk
+  cache this gives exactly-once execution per scenario content.
+* **Crash recovery** — every transition is journaled
+  (:mod:`repro.service.journal`); a restarted service re-enqueues
+  everything that was pending or running when the last one died.
+* **Graceful drain** — :meth:`drain` stops admission, lets running jobs
+  finish within a grace period, checkpoints the ones that can't back to
+  pending, and flushes the journal.
+
+Execution stays deterministic: the service adds scheduling, not
+semantics — a job's results are bit-identical to ``run_many`` over the
+same scenario list (pinned by ``tests/service/``).
+"""
+# repro-lint: disable-file=DET001 -- the serving layer times jobs and
+# deadlines with the host clock (queue wait, job wall, drain grace);
+# simulation state never reads it.
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.analysis.cache import ResultCache, scenario_hash
+from repro.analysis.runner import ProgressUpdate, SweepEngine, TaskFn
+from repro.errors import ConfigurationError, ReproError
+from repro.metrics.collector import SimulationResult
+from repro.obs.instruments import MetricsRegistry
+from repro.scenarios.config import ScenarioConfig
+from repro.scenarios.io import scenario_from_dict, scenario_to_dict
+from repro.service.jobs import Job, JobState, new_job_id
+from repro.service.journal import JobJournal, replay
+from repro.service.metrics import ServiceMetrics
+from repro.service.queue import AdmissionError, AdmissionPolicy, JobQueue
+
+__all__ = [
+    "SimulationService",
+    "AdmissionError",
+    "JobNotFoundError",
+    "JobNotReadyError",
+    "JobNotCancellableError",
+    "ServiceDrainingError",
+]
+
+ScenarioLike = Union[ScenarioConfig, Dict[str, Any]]
+
+
+class JobNotFoundError(ReproError):
+    """No job with that id (never existed, or deleted)."""
+
+
+class JobNotReadyError(ReproError):
+    """The job exists but has no results yet (or terminally failed)."""
+
+    def __init__(self, job: Job) -> None:
+        detail = f"job {job.id} is {job.state.value}"
+        if job.error:
+            detail += f": {job.error}"
+        super().__init__(detail)
+        self.state = job.state
+        self.error = job.error
+
+
+class JobNotCancellableError(ReproError):
+    """Cancellation was requested for a job already being executed."""
+
+
+class ServiceDrainingError(ReproError):
+    """The service is draining and admits no new jobs."""
+
+
+class _Flight:
+    """One in-flight scenario execution: owner publishes, followers wait."""
+
+    __slots__ = ("event", "result", "error")
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.result: Optional[SimulationResult] = None
+        self.error: Optional[str] = None
+
+
+class SimulationService:
+    """Long-running, journaled, deduplicating executor of simulation jobs."""
+
+    def __init__(
+        self,
+        workers: int = 2,
+        cache_dir: Optional[str] = None,
+        journal_path: Optional[str] = None,
+        max_queue_depth: Optional[int] = 64,
+        max_inflight_per_client: Optional[int] = 8,
+        processes: int = 1,
+        retries: int = 1,
+        task_fn: Optional[TaskFn] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.cache_dir = cache_dir
+        self.processes = processes
+        self.retries = retries
+        self._task_fn = task_fn
+        self.metrics = ServiceMetrics(registry)
+        self._policy = AdmissionPolicy(max_queue_depth, max_inflight_per_client)
+        self._lock = threading.RLock()
+        self._jobs: Dict[str, Job] = {}
+        self._queue = JobQueue()
+        self._inflight: Dict[str, _Flight] = {}
+        self._threads: List[threading.Thread] = []
+        self._draining = False
+        self._stopped = False
+        self.started_at = time.time()
+
+        self._journal: Optional[JobJournal] = None
+        if journal_path is not None:
+            for job in replay(journal_path):
+                self._jobs[job.id] = job
+                if job.state is JobState.PENDING:
+                    self._queue.push(job)
+            self._journal = JobJournal(journal_path)
+            self._journal.compact(
+                sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+            )
+        self._refresh_gauges_locked()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "SimulationService":
+        """Spawn the worker pool (idempotent)."""
+        with self._lock:
+            if self._threads or self._stopped:
+                return self
+            for index in range(self.workers):
+                thread = threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-service-worker-{index}",
+                    daemon=True,
+                )
+                thread.start()
+                self._threads.append(thread)
+        return self
+
+    def __enter__(self) -> "SimulationService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.drain(grace_s=5.0)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, grace_s: float = 30.0) -> Dict[str, int]:
+        """Graceful shutdown: stop admitting, finish or checkpoint, flush.
+
+        Running jobs get ``grace_s`` seconds to finish; any still running
+        after that are *checkpointed* — journaled back to pending so a
+        restarted service re-enqueues and completes them.  Returns counts
+        of jobs finished/checkpointed/pending at the end of the drain.
+        """
+        with self._lock:
+            if self._stopped:
+                return {"finished": 0, "checkpointed": 0, "pending": 0}
+            self._draining = True
+            self.metrics.draining.set(1)
+        deadline = time.monotonic() + max(0.0, grace_s)
+        for thread in self._threads:
+            thread.join(timeout=max(0.0, deadline - time.monotonic()))
+        finished = checkpointed = pending = 0
+        with self._lock:
+            for job in self._jobs.values():
+                if job.state is JobState.RUNNING:
+                    # The worker is still mid-execution and about to be
+                    # abandoned; hand the job back to pending on disk so a
+                    # restart re-runs it (idempotent by determinism).
+                    if self._journal is not None:
+                        self._journal.record_checkpoint(job)
+                    job.state = JobState.PENDING
+                    checkpointed += 1
+                    job.touch()
+                elif job.state is JobState.PENDING:
+                    pending += 1
+                elif job.terminal:
+                    finished += 1
+            if self._journal is not None:
+                self._journal.close()
+            self._stopped = True
+            self._refresh_gauges_locked()
+        return {
+            "finished": finished,
+            "checkpointed": checkpointed,
+            "pending": pending,
+        }
+
+    # -- submission and queries ----------------------------------------------
+
+    def submit(
+        self,
+        scenarios: Union[ScenarioLike, Sequence[ScenarioLike]],
+        client: str = "default",
+        priority: int = 0,
+    ) -> Job:
+        """Admit a job for the given scenario(s); returns it ``pending``.
+
+        Raises :class:`~repro.scenarios...ConfigurationError` on payloads
+        that do not rebuild into a :class:`ScenarioConfig`,
+        :class:`AdmissionError` when the queue is full or the client is
+        over its in-flight limit, and :class:`ServiceDrainingError` once
+        :meth:`drain` has begun.
+        """
+        payloads = [self._as_payload(s) for s in self._as_sequence(scenarios)]
+        if not payloads:
+            raise ConfigurationError("a job needs at least one scenario")
+        for payload in payloads:
+            # Validate before admission: whatever the rebuild failure mode
+            # (unknown key, wrong type, missing field), the submitter sees
+            # one error class.
+            try:
+                scenario_from_dict(payload)
+            except ConfigurationError:
+                raise
+            except Exception as exc:
+                raise ConfigurationError(
+                    f"invalid scenario payload: {type(exc).__name__}: {exc}"
+                ) from exc
+        with self._lock:
+            if self._draining or self._stopped:
+                raise ServiceDrainingError("service is draining; resubmit later")
+            try:
+                self._policy.admit(
+                    queue_depth=self._count_state_locked(JobState.PENDING),
+                    client_inflight=self._client_inflight_locked(client),
+                    client=client,
+                )
+            except AdmissionError:
+                self.metrics.jobs_rejected.inc()
+                raise
+            job = Job(
+                id=new_job_id(), client=client, priority=priority, scenarios=payloads
+            )
+            self._jobs[job.id] = job
+            if self._journal is not None:
+                self._journal.record_submit(job)
+            self._queue.push(job)
+            self.metrics.jobs_submitted.inc()
+            self._refresh_gauges_locked()
+        return job
+
+    def get_job(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"no such job: {job_id}")
+        return job
+
+    def jobs(self) -> List[Job]:
+        """All known jobs, oldest submission first."""
+        with self._lock:
+            return sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+
+    def job_results(self, job_id: str) -> List[SimulationResult]:
+        job = self.get_job(job_id)
+        if job.state is not JobState.DONE or job.results is None:
+            raise JobNotReadyError(job)
+        return list(job.results)
+
+    def wait(self, job_id: str, timeout: Optional[float] = None) -> Job:
+        """Block until the job reaches a terminal state (or timeout)."""
+        job = self.get_job(job_id)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        version = -1
+        while not job.terminal:
+            remaining = 0.5
+            if deadline is not None:
+                remaining = min(remaining, deadline - time.monotonic())
+                if remaining <= 0:
+                    break
+            version = job.wait_for_change(version, timeout=remaining)
+        return job
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a pending job, or delete a terminal job's record.
+
+        Running jobs are not interruptible (executions are batched in the
+        engine); cancelling one raises :class:`JobNotCancellableError`.
+        """
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"no such job: {job_id}")
+            if job.state is JobState.PENDING:
+                job.state = JobState.CANCELLED
+                job.finished_at = time.time()
+                if self._journal is not None:
+                    self._journal.record_cancelled(job)
+                self.metrics.jobs_cancelled.inc()
+                self._refresh_gauges_locked()
+            elif job.state is JobState.RUNNING:
+                raise JobNotCancellableError(
+                    f"job {job_id} is already running; it cannot be interrupted"
+                )
+            else:
+                del self._jobs[job_id]
+                if self._journal is not None:
+                    self._journal.record_deleted(job_id)
+        job.touch()
+        return job
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            counts = {state.value: 0 for state in JobState}
+            for job in self._jobs.values():
+                counts[job.state.value] += 1
+            return counts
+
+    # -- internals -----------------------------------------------------------
+
+    @staticmethod
+    def _as_sequence(
+        scenarios: Union[ScenarioLike, Sequence[ScenarioLike]],
+    ) -> Sequence[ScenarioLike]:
+        if isinstance(scenarios, (ScenarioConfig, dict)):
+            return [scenarios]
+        return list(scenarios)
+
+    @staticmethod
+    def _as_payload(scenario: ScenarioLike) -> Dict[str, Any]:
+        if isinstance(scenario, ScenarioConfig):
+            return scenario_to_dict(scenario)
+        return dict(scenario)
+
+    def _count_state_locked(self, state: JobState) -> int:
+        return sum(1 for job in self._jobs.values() if job.state is state)
+
+    def _client_inflight_locked(self, client: str) -> int:
+        return sum(
+            1
+            for job in self._jobs.values()
+            if job.client == client
+            and job.state in (JobState.PENDING, JobState.RUNNING)
+        )
+
+    def _refresh_gauges_locked(self) -> None:
+        self.metrics.set_job_gauges(
+            queue_depth=self._count_state_locked(JobState.PENDING),
+            pending=self._count_state_locked(JobState.PENDING),
+            running=self._count_state_locked(JobState.RUNNING),
+        )
+
+    def _worker_loop(self) -> None:
+        while not self._stopped and not self._draining:
+            job = self._queue.pop(timeout=0.2)
+            if job is None:
+                continue
+            if self._draining or self._stopped:
+                self._queue.push(job)  # hand back untouched; drain will keep it pending
+                break
+            with self._lock:
+                if job.state is not JobState.PENDING:
+                    continue  # cancelled while queued
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+                if self._journal is not None:
+                    self._journal.record_state(job)
+                self._refresh_gauges_locked()
+            job.touch()
+            try:
+                results = self._execute(job)
+            except Exception as exc:  # job-level failure, never worker death
+                self._finish_failed(job, f"{type(exc).__name__}: {exc}")
+            else:
+                self._finish_done(job, results)
+
+    def _execute(self, job: Job) -> List[SimulationResult]:
+        keys = [scenario_hash(payload) for payload in job.scenarios]
+        unique_keys = list(dict.fromkeys(keys))
+        payload_by_key = {
+            key: payload
+            for key, payload in zip(keys, job.scenarios)
+        }
+        cache = ResultCache(self.cache_dir) if self.cache_dir is not None else None
+
+        resolved: Dict[str, SimulationResult] = {}
+        cached = 0
+        if cache is not None:
+            for key in unique_keys:
+                hit = cache.get(key)
+                if hit is not None:
+                    resolved[key] = hit
+                    cached += 1
+        self.metrics.sims_cache_hits.inc(cached)
+
+        owned: List[str] = []
+        followed: List[Tuple[str, _Flight]] = []
+        with self._lock:
+            for key in unique_keys:
+                if key in resolved:
+                    continue
+                flight = self._inflight.get(key)
+                if flight is None:
+                    flight = _Flight()
+                    self._inflight[key] = flight
+                    owned.append(key)
+                else:
+                    followed.append((key, flight))
+
+        job.progress.cached = cached
+        job.progress.completed = cached
+        job.touch()
+
+        try:
+            if owned:
+                resolved.update(self._run_owned(job, owned, payload_by_key, cache))
+        finally:
+            with self._lock:
+                flights = [(key, self._inflight.pop(key, None)) for key in owned]
+            for key, flight in flights:
+                if flight is None:
+                    continue
+                flight.result = resolved.get(key)
+                if flight.result is None and flight.error is None:
+                    flight.error = f"execution of {key[:12]}… did not complete"
+                flight.event.set()
+
+        for key, flight in followed:
+            flight.event.wait()
+            if flight.error is not None or flight.result is None:
+                raise RuntimeError(
+                    f"deduplicated scenario {key[:12]}… failed in its owning "
+                    f"job: {flight.error}"
+                )
+            resolved[key] = flight.result
+            self.metrics.sims_deduped.inc()
+            job.progress.deduped += 1
+            job.progress.completed = sum(1 for k in unique_keys if k in resolved)
+            job.touch()
+
+        return [resolved[key] for key in keys]
+
+    def _run_owned(
+        self,
+        job: Job,
+        owned: List[str],
+        payload_by_key: Dict[str, Dict[str, Any]],
+        cache: Optional[ResultCache],
+    ) -> Dict[str, SimulationResult]:
+        """Execute the claimed scenarios through a fresh engine."""
+        base_cached = job.progress.cached
+        base_completed = job.progress.completed
+
+        def on_progress(update: ProgressUpdate) -> None:
+            job.progress.executed = update.executed
+            job.progress.cached = base_cached + update.cached
+            job.progress.completed = base_completed + update.completed
+            job.touch()
+
+        engine = SweepEngine(
+            processes=self.processes,
+            cache=cache,
+            retries=self.retries,
+            progress=on_progress,
+            task_fn=self._task_fn,
+        )
+        configs = [scenario_from_dict(payload_by_key[key]) for key in owned]
+        report = engine.run(configs)
+        self.metrics.sims_executed.inc(report.executed)
+        self.metrics.sims_cache_hits.inc(report.cache_hits)
+        return dict(zip(owned, report.results))
+
+    def _finish_done(self, job: Job, results: List[SimulationResult]) -> None:
+        with self._lock:
+            job.results = results
+            job.state = JobState.DONE
+            job.finished_at = time.time()
+            job.progress.completed = job.progress.total
+            if self._journal is not None:
+                self._journal.record_done(job)
+            self.metrics.jobs_done.inc()
+            wall = job.wall_s()
+            if wall is not None:
+                self.metrics.job_wall.observe(wall)
+            self._refresh_gauges_locked()
+        job.touch()
+
+    def _finish_failed(self, job: Job, error: str) -> None:
+        with self._lock:
+            job.error = error
+            job.state = JobState.FAILED
+            job.finished_at = time.time()
+            if self._journal is not None:
+                self._journal.record_failed(job)
+            self.metrics.jobs_failed.inc()
+            self._refresh_gauges_locked()
+        job.touch()
+
+
+def iter_scenarios(job: Job) -> Iterable[ScenarioConfig]:
+    """The job's payloads rebuilt as configs (validation already done)."""
+    for payload in job.scenarios:
+        yield scenario_from_dict(payload)

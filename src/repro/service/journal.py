@@ -1,0 +1,276 @@
+"""JSONL job journal: crash recovery for the simulation service.
+
+Every job transition is appended as one JSON line, flushed immediately
+(and fsynced at terminal transitions and on close), so a killed server
+can reconstruct its world:
+
+* ``submit``    — the full job (scenarios included; they are the work);
+* ``state``     — pending → running transitions;
+* ``done``      — terminal success, with the result payloads;
+* ``failed`` / ``cancelled`` — terminal without results;
+* ``checkpoint``— a running job handed back to pending at drain time;
+* ``deleted``   — the record was explicitly removed (replay drops it).
+
+:func:`replay` folds a journal into the latest state per job.  Jobs whose
+last state is ``pending`` or ``running`` are *recovered*: returned as
+``pending`` with ``recovered=True`` so the service re-enqueues them — a
+running job that died mid-flight is simply re-run (executions are
+idempotent: results are a pure function of the scenario, and anything the
+dead run already cached is reused).  A truncated final line (the crash
+landed mid-write) is skipped, never fatal.
+
+On startup the service :meth:`~JobJournal.compact`\\ s: the journal is
+rewritten as one ``submit`` (+ terminal record) per surviving job, so it
+grows with jobs served since the last restart, not with server lifetime.
+"""
+# repro-lint: disable-file=DET001 -- journal records carry wall-clock
+# timestamps (when a job was submitted/finished); serving metadata only,
+# never simulation state.
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.analysis.cache import result_from_payload, result_to_payload
+from repro.service.jobs import Job, JobProgress, JobState
+
+PathLike = Union[str, Path]
+
+#: Bump when journal record semantics change incompatibly.
+JOURNAL_FORMAT_VERSION = 1
+
+
+class JobJournal:
+    """Append-only JSONL log of job transitions (thread-safe)."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self._handle = open(self.path, "a", encoding="utf-8")
+        self._closed = False
+
+    # -- writing ------------------------------------------------------------
+
+    def _append(self, record: Dict[str, Any], sync: bool = False) -> None:
+        line = json.dumps(record, sort_keys=True)
+        with self._lock:
+            if self._closed:  # drain already flushed; late writers are no-ops
+                return
+            self._handle.write(line + "\n")
+            self._handle.flush()
+            if sync:
+                os.fsync(self._handle.fileno())
+
+    def record_submit(self, job: Job) -> None:
+        self._append(
+            {
+                "event": "submit",
+                "v": JOURNAL_FORMAT_VERSION,
+                "t": time.time(),
+                "job": {
+                    "id": job.id,
+                    "client": job.client,
+                    "priority": job.priority,
+                    "scenarios": job.scenarios,
+                    "submitted_at": job.submitted_at,
+                },
+            }
+        )
+
+    def record_state(self, job: Job) -> None:
+        self._append(
+            {"event": "state", "t": time.time(), "id": job.id, "state": job.state.value}
+        )
+
+    def record_done(self, job: Job) -> None:
+        self._append(
+            {
+                "event": "done",
+                "t": time.time(),
+                "id": job.id,
+                "progress": job.progress.as_dict(),
+                "wall_s": job.wall_s(),
+                "results": [result_to_payload(r) for r in job.results or []],
+            },
+            sync=True,
+        )
+
+    def record_failed(self, job: Job) -> None:
+        self._append(
+            {"event": "failed", "t": time.time(), "id": job.id, "error": job.error},
+            sync=True,
+        )
+
+    def record_cancelled(self, job: Job) -> None:
+        self._append(
+            {"event": "cancelled", "t": time.time(), "id": job.id}, sync=True
+        )
+
+    def record_checkpoint(self, job: Job) -> None:
+        """A running job handed back to ``pending`` (graceful drain)."""
+        self._append(
+            {"event": "checkpoint", "t": time.time(), "id": job.id}, sync=True
+        )
+
+    def record_deleted(self, job_id: str) -> None:
+        self._append({"event": "deleted", "t": time.time(), "id": job_id}, sync=True)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._closed = True
+
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self, jobs: List[Job]) -> None:
+        """Rewrite the journal to one submit (+ terminal) record per job.
+
+        Atomic: written to a temp file and renamed over the old journal,
+        so a crash mid-compaction leaves the previous journal intact.
+        """
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        with self._lock:
+            if self._closed:
+                return
+            self._handle.flush()
+            with open(tmp, "w", encoding="utf-8") as out:
+                for job in jobs:
+                    out.write(
+                        json.dumps(
+                            {
+                                "event": "submit",
+                                "v": JOURNAL_FORMAT_VERSION,
+                                "t": time.time(),
+                                "job": {
+                                    "id": job.id,
+                                    "client": job.client,
+                                    "priority": job.priority,
+                                    "scenarios": job.scenarios,
+                                    "submitted_at": job.submitted_at,
+                                },
+                            },
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+                    terminal: Optional[Dict[str, Any]] = None
+                    if job.state is JobState.DONE:
+                        terminal = {
+                            "event": "done",
+                            "t": time.time(),
+                            "id": job.id,
+                            "progress": job.progress.as_dict(),
+                            "wall_s": job.wall_s(),
+                            "results": [
+                                result_to_payload(r) for r in job.results or []
+                            ],
+                        }
+                    elif job.state is JobState.FAILED:
+                        terminal = {
+                            "event": "failed",
+                            "t": time.time(),
+                            "id": job.id,
+                            "error": job.error,
+                        }
+                    elif job.state is JobState.CANCELLED:
+                        terminal = {"event": "cancelled", "t": time.time(), "id": job.id}
+                    if terminal is not None:
+                        out.write(json.dumps(terminal, sort_keys=True) + "\n")
+                out.flush()
+                os.fsync(out.fileno())
+            self._handle.close()
+            os.replace(tmp, self.path)
+            self._handle = open(self.path, "a", encoding="utf-8")
+
+
+def replay(path: PathLike) -> List[Job]:
+    """Reconstruct jobs from a journal, oldest submission first.
+
+    Jobs last seen ``pending``/``running``/checkpointed come back as
+    ``pending`` with ``recovered=True``; terminal jobs keep their state,
+    results included.  Unreadable lines (a crash mid-append) and records
+    for unknown job ids are skipped.
+    """
+    path = Path(path)
+    if not path.exists():
+        return []
+    jobs: Dict[str, Job] = {}
+    order: List[str] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # truncated trailing line from a crash mid-write
+        event = record.get("event")
+        if event == "submit":
+            blob = record.get("job") or {}
+            job_id = blob.get("id")
+            if not job_id or not isinstance(blob.get("scenarios"), list):
+                continue
+            job = Job(
+                id=job_id,
+                client=blob.get("client", "unknown"),
+                priority=int(blob.get("priority", 0)),
+                scenarios=blob["scenarios"],
+                submitted_at=float(blob.get("submitted_at", record.get("t", 0.0))),
+            )
+            if job_id not in jobs:
+                order.append(job_id)
+            jobs[job_id] = job
+            continue
+        job = jobs.get(record.get("id", ""))
+        if job is None:
+            continue
+        if event == "state":
+            try:
+                job.state = JobState(record.get("state"))
+            except ValueError:
+                pass
+        elif event == "done":
+            job.state = JobState.DONE
+            try:
+                job.results = [
+                    result_from_payload(p) for p in record.get("results", [])
+                ]
+            except Exception:
+                # Unloadable results (e.g. a result-record refactor): the
+                # job is not trustworthy as DONE any more; re-run it.
+                job.results = None
+                job.state = JobState.PENDING
+                continue
+            progress = record.get("progress") or {}
+            job.progress = JobProgress(
+                **{k: int(v) for k, v in progress.items() if k in JobProgress().__dict__}
+            )
+        elif event == "failed":
+            job.state = JobState.FAILED
+            job.error = record.get("error")
+        elif event == "cancelled":
+            job.state = JobState.CANCELLED
+        elif event == "checkpoint":
+            job.state = JobState.PENDING
+        elif event == "deleted":
+            jobs.pop(job.id, None)
+    recovered: List[Job] = []
+    for job_id in order:
+        job = jobs.get(job_id)
+        if job is None:
+            continue
+        if job.state in (JobState.PENDING, JobState.RUNNING):
+            job.state = JobState.PENDING
+            job.recovered = True
+        recovered.append(job)
+    return recovered

@@ -1,0 +1,66 @@
+"""Service metrics: queue/jobs/cache instruments and their /metrics text.
+
+Reuses the :mod:`repro.obs.instruments` primitives — the same Counter/
+Gauge/Histogram/Registry that back the simulator's interval timeseries —
+but fed with *serving* quantities (queue depth, jobs by state, cache
+hits, per-job wall time).  The rendering is Prometheus-style text
+exposition: one ``name value`` line per snapshot key, names sanitised to
+``[a-z0-9_]`` with a ``repro_`` prefix.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Optional
+
+from repro.obs.instruments import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Wall-time buckets for one job, in seconds: sub-second cache hits up to
+#: half-hour paper-scale sweeps.
+JOB_WALL_BUCKETS = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0)
+
+_NAME_SANITISER = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def prometheus_name(key: str) -> str:
+    return "repro_" + _NAME_SANITISER.sub("_", key)
+
+
+class ServiceMetrics:
+    """The service's instrument set over one :class:`MetricsRegistry`."""
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        reg = self.registry
+        # Gauges: current shape of the serving system.
+        self.queue_depth: Gauge = reg.gauge("service.queue.depth")
+        self.jobs_pending: Gauge = reg.gauge("service.jobs.pending")
+        self.jobs_running: Gauge = reg.gauge("service.jobs.running")
+        self.draining: Gauge = reg.gauge("service.draining")
+        # Counters: lifetime totals.
+        self.jobs_submitted: Counter = reg.counter("service.jobs.submitted")
+        self.jobs_rejected: Counter = reg.counter("service.jobs.rejected")
+        self.jobs_done: Counter = reg.counter("service.jobs.done")
+        self.jobs_failed: Counter = reg.counter("service.jobs.failed")
+        self.jobs_cancelled: Counter = reg.counter("service.jobs.cancelled")
+        self.sims_executed: Counter = reg.counter("service.sims.executed")
+        self.sims_cache_hits: Counter = reg.counter("service.sims.cache_hits")
+        self.sims_deduped: Counter = reg.counter("service.sims.deduped")
+        # Histogram: how long one job takes wall-clock, end to end.
+        self.job_wall: Histogram = reg.histogram("service.job.wall_s", JOB_WALL_BUCKETS)
+
+    def set_job_gauges(self, queue_depth: int, pending: int, running: int) -> None:
+        self.queue_depth.set(queue_depth)
+        self.jobs_pending.set(pending)
+        self.jobs_running.set(running)
+
+    def snapshot(self) -> Dict[str, float]:
+        return self.registry.snapshot()
+
+    def render_prometheus(self) -> str:
+        """Text exposition of the full snapshot, deterministically ordered."""
+        lines = [
+            f"{prometheus_name(key)} {value:g}"
+            for key, value in sorted(self.snapshot().items())
+        ]
+        return "\n".join(lines) + "\n"

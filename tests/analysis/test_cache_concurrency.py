@@ -1,0 +1,133 @@
+"""Concurrency tests for the result cache: racing writers, torn readers.
+
+The cache is shared by pool workers and by every service job; its only
+defenses are atomic temp-file renames and load-time invalidation.  These
+tests hammer exactly those seams.
+"""
+
+import json
+import threading
+
+from repro.analysis.cache import ResultCache, scenario_hash
+from repro.analysis.runner import run_many
+from repro.scenarios.config import ScenarioConfig
+
+
+def _config(seed=1):
+    return ScenarioConfig(
+        num_nodes=10,
+        field_width=500.0,
+        field_height=300.0,
+        duration=12.0,
+        num_sessions=3,
+        pause_time=0.0,
+        seed=seed,
+    )
+
+
+def _result():
+    [res] = run_many([_config(seed=1)], processes=1)
+    return res
+
+
+def test_racing_puts_on_same_key_leave_one_loadable_entry(tmp_path):
+    result = _result()
+    key = scenario_hash(_config(seed=1))
+    start = threading.Barrier(8)
+    caches = [ResultCache(tmp_path) for _ in range(8)]
+    errors = []
+
+    def writer(cache):
+        try:
+            start.wait(timeout=10)
+            for _ in range(25):
+                cache.put(key, result)
+        except Exception as exc:  # pragma: no cover - diagnostic only
+            errors.append(exc)
+
+    threads = [threading.Thread(target=writer, args=(c,)) for c in caches]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert errors == []
+    reader = ResultCache(tmp_path)
+    assert reader.get(key) == result
+    assert reader.stats.invalidated == 0
+    assert len(reader) == 1
+
+
+def test_reader_never_sees_torn_entries_during_writes(tmp_path):
+    result = _result()
+    key = scenario_hash(_config(seed=1))
+    writer_cache = ResultCache(tmp_path)
+    reader_cache = ResultCache(tmp_path)
+    stop = threading.Event()
+    outcomes = []
+
+    def reader():
+        while not stop.is_set():
+            hit = reader_cache.get(key)
+            if hit is not None:
+                outcomes.append(hit == result)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    for _ in range(200):
+        writer_cache.put(key, result)
+    stop.set()
+    thread.join()
+    assert outcomes, "reader never observed the entry"
+    assert all(outcomes)  # every observed value was complete and correct
+    assert reader_cache.stats.invalidated == 0  # atomic rename: no torn reads
+
+
+def test_half_written_entry_is_invalidated_and_deleted(tmp_path):
+    result = _result()
+    cache = ResultCache(tmp_path)
+    key = scenario_hash(_config(seed=1))
+    path = cache.put(key, result)
+    complete = path.read_text()
+    path.write_text(complete[: len(complete) // 2])  # simulate a torn write
+
+    assert cache.get(key) is None
+    assert not path.exists()  # the corpse was deleted, not left to re-fail
+    assert cache.stats.invalidated == 1
+    assert cache.stats.misses == 1
+
+    # The key is fully usable again after the invalidation.
+    cache.put(key, result)
+    assert cache.get(key) == result
+
+
+def test_foreign_format_version_is_invalidated(tmp_path):
+    result = _result()
+    cache = ResultCache(tmp_path)
+    key = scenario_hash(_config(seed=1))
+    path = cache.put(key, result)
+    entry = json.loads(path.read_text())
+    entry["format_version"] = 999
+    path.write_text(json.dumps(entry))
+    assert cache.get(key) is None
+    assert not path.exists()
+    assert cache.stats.invalidated == 1
+
+
+def test_concurrent_distinct_keys_all_land(tmp_path):
+    result = _result()
+    keys = [scenario_hash(_config(seed=s)) for s in range(1, 17)]
+    start = threading.Barrier(16)
+
+    def writer(key):
+        cache = ResultCache(tmp_path)
+        start.wait(timeout=10)
+        cache.put(key, result)
+
+    threads = [threading.Thread(target=writer, args=(k,)) for k in keys]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    reader = ResultCache(tmp_path)
+    assert len(reader) == 16
+    assert all(reader.get(key) == result for key in keys)

@@ -1,0 +1,137 @@
+"""Tests for result-cache garbage collection (prune + spec parsing)."""
+
+import os
+
+import pytest
+
+from repro.analysis.cache import ResultCache, parse_prune_spec, scenario_hash
+from repro.analysis.runner import run_many
+from repro.scenarios.config import ScenarioConfig
+
+NOW = 1_000_000_000.0
+DAY = 86_400.0
+
+
+def _config(seed=1):
+    return ScenarioConfig(
+        num_nodes=10,
+        field_width=500.0,
+        field_height=300.0,
+        duration=12.0,
+        num_sessions=3,
+        pause_time=0.0,
+        seed=seed,
+    )
+
+
+@pytest.fixture(scope="module")
+def result():
+    [res] = run_many([_config(seed=1)], processes=1)
+    return res
+
+
+def _fill(cache, result, ages_days):
+    """One entry per age; returns keys ordered youngest first."""
+    keys = []
+    for index, age in enumerate(ages_days):
+        key = scenario_hash(_config(seed=index + 1))
+        path = cache.put(key, result)
+        stamp = NOW - age * DAY
+        os.utime(path, (stamp, stamp))
+        keys.append(key)
+    return [key for _, key in sorted(zip(ages_days, keys))]
+
+
+def test_age_prune_drops_only_stale_entries(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, result, ages_days=[0, 1, 5, 9])
+    report = cache.prune(max_age_s=2 * DAY, now=NOW)
+    assert report.scanned == 4
+    assert report.removed == 2
+    assert report.removed_by_age == 2
+    assert report.kept == 2
+    assert keys[0] in cache and keys[1] in cache
+    assert keys[2] not in cache and keys[3] not in cache
+
+
+def test_size_prune_evicts_least_recently_used_first(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, result, ages_days=[0, 1, 2, 3])
+    entry_size = cache._path(keys[0]).stat().st_size
+    report = cache.prune(max_bytes=2 * entry_size, now=NOW)
+    assert report.removed == 2
+    assert report.removed_by_size == 2
+    assert report.kept_bytes <= 2 * entry_size
+    # The two *youngest* (most recently used) survive.
+    assert keys[0] in cache and keys[1] in cache
+    assert keys[2] not in cache and keys[3] not in cache
+
+
+def test_combined_bounds_apply_age_then_size(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, result, ages_days=[0, 1, 2, 30])
+    entry_size = cache._path(keys[0]).stat().st_size
+    report = cache.prune(max_bytes=2 * entry_size, max_age_s=7 * DAY, now=NOW)
+    assert report.removed_by_age == 1  # the 30-day entry
+    assert report.removed_by_size == 1  # then LRU down to the byte budget
+    assert keys[0] in cache and keys[1] in cache
+
+
+def test_get_refreshes_mtime_so_hits_survive_lru(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, result, ages_days=[1, 2, 3])
+    oldest = keys[-1]
+    assert cache.get(oldest) is not None  # a hit: now the most recently used
+    entry_size = cache._path(oldest).stat().st_size
+    cache.prune(max_bytes=entry_size, now=NOW)
+    assert oldest in cache  # the read saved it
+    assert keys[0] not in cache
+
+
+def test_prune_removes_stale_temp_files(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    key = scenario_hash(_config(seed=1))
+    cache.put(key, result)
+    orphan = cache._path(key).with_suffix(".tmp.99999")
+    orphan.write_text("crashed writer leftovers")
+    report = cache.prune(max_age_s=10 * DAY, now=NOW)
+    assert not orphan.exists()
+    assert report.kept == 1
+
+
+def test_prune_without_bounds_is_a_no_op_scan(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    _fill(cache, result, ages_days=[0, 50])
+    report = cache.prune(now=NOW)
+    assert report.scanned == 2
+    assert report.removed == 0
+    assert len(cache) == 2
+
+
+def test_prune_report_summary_reads_well(tmp_path, result):
+    cache = ResultCache(tmp_path)
+    _fill(cache, result, ages_days=[0, 9])
+    summary = cache.prune(max_age_s=DAY, now=NOW).summary()
+    assert "pruned 1/2 entries" in summary
+    assert "1 by age" in summary
+
+
+# -- spec parsing -------------------------------------------------------------
+
+
+def test_parse_prune_spec_sizes_and_ages():
+    assert parse_prune_spec("500MB") == (500 * 10**6, None)
+    assert parse_prune_spec("1GiB") == (2**30, None)
+    assert parse_prune_spec("7d") == (None, 7 * DAY)
+    assert parse_prune_spec("90m") == (None, 5400.0)
+    assert parse_prune_spec("1GiB,30d") == (2**30, 30 * DAY)
+    assert parse_prune_spec(" 2w , 10kb ") == (10_000, 14 * DAY)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    ["", ",", "nope", "500", "500xx", "7d,1d", "1MB,2GB", "-5d"],
+)
+def test_parse_prune_spec_rejects_garbage(bad):
+    with pytest.raises(ValueError):
+        parse_prune_spec(bad)

@@ -1,0 +1,100 @@
+"""Tests for graceful sweep interruption (Ctrl-C mid-batch)."""
+
+import json
+
+import pytest
+
+from repro.analysis.cache import ResultCache
+from repro.analysis.runner import SweepEngine, SweepInterrupted, _run_payload
+from repro.scenarios.config import ScenarioConfig
+
+
+def _config(seed=1):
+    return ScenarioConfig(
+        num_nodes=10,
+        field_width=500.0,
+        field_height=300.0,
+        duration=12.0,
+        num_sessions=3,
+        pause_time=0.0,
+        seed=seed,
+    )
+
+
+def _interrupt_on_nth(n):
+    calls = []
+
+    def task(payload):
+        calls.append(payload["seed"])
+        if len(calls) == n:
+            raise KeyboardInterrupt
+        return _run_payload(payload)
+
+    return task, calls
+
+
+def test_interrupt_mid_batch_raises_sweep_interrupted(tmp_path):
+    task, calls = _interrupt_on_nth(2)
+    engine = SweepEngine(processes=1, cache=ResultCache(tmp_path), task_fn=task)
+    configs = [_config(seed=s) for s in (1, 2, 3)]
+    with pytest.raises(SweepInterrupted) as excinfo:
+        engine.run(configs)
+    exc = excinfo.value
+    assert exc.total == 3
+    assert exc.completed == 1
+    assert exc.abandoned == 2
+    assert len(calls) == 2  # the third task never started
+    assert "re-run to resume" in str(exc)
+
+
+def test_interrupt_flushes_partial_manifest(tmp_path):
+    task, _calls = _interrupt_on_nth(2)
+    engine = SweepEngine(processes=1, cache=ResultCache(tmp_path), task_fn=task)
+    with pytest.raises(SweepInterrupted):
+        engine.run([_config(seed=s) for s in (1, 2, 3)])
+    lines = (tmp_path / "manifest.jsonl").read_text().splitlines()
+    entry = json.loads(lines[-1])
+    assert entry["interrupted"] is True
+    assert entry["executed"] == 1
+    assert entry["total"] == 3
+
+
+def test_completed_work_survives_for_resume(tmp_path):
+    task, _calls = _interrupt_on_nth(2)
+    cache = ResultCache(tmp_path)
+    configs = [_config(seed=s) for s in (1, 2, 3)]
+    with pytest.raises(SweepInterrupted):
+        SweepEngine(processes=1, cache=cache, task_fn=task).run(configs)
+
+    resumed = SweepEngine(processes=1, cache=ResultCache(tmp_path))
+    report = resumed.run(configs)
+    assert report.cache_hits == 1  # the pre-interrupt execution was kept
+    assert report.executed == 2
+    manifest = [
+        json.loads(line)
+        for line in (tmp_path / "manifest.jsonl").read_text().splitlines()
+    ]
+    assert "interrupted" not in manifest[-1]  # the resume batch completed
+
+
+def test_interrupt_during_retry_loop_is_graceful():
+    attempts = []
+
+    def task(payload):
+        attempts.append(payload["seed"])
+        if len(attempts) == 1:
+            raise RuntimeError("transient")
+        raise KeyboardInterrupt
+
+    engine = SweepEngine(processes=1, retries=2, task_fn=task)
+    with pytest.raises(SweepInterrupted):
+        engine.run([_config(seed=1)])
+    assert len(attempts) == 2  # first failed, retry interrupted
+
+
+def test_uninterrupted_sweep_unchanged(tmp_path):
+    engine = SweepEngine(processes=1, cache=ResultCache(tmp_path))
+    report = engine.run([_config(seed=1)])
+    assert report.executed == 1
+    entry = json.loads((tmp_path / "manifest.jsonl").read_text().splitlines()[-1])
+    assert "interrupted" not in entry

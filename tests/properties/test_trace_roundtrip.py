@@ -19,7 +19,7 @@ field_names = st.text(
     alphabet=st.characters(whitelist_categories=("Ll",), max_codepoint=0x7F),
     min_size=1,
     max_size=8,
-).filter(lambda name: name not in ("t", "kind"))
+).filter(lambda name: name not in ("t", "kind", "time"))  # emit()'s own params
 
 field_values = st.one_of(
     st.none(),

@@ -1,0 +1,42 @@
+"""Test helper: run the real ``repro-serve`` entry point with a slow task.
+
+Used by ``test_restart.py`` to exercise the production signal path: jobs
+execute through a task function that blocks until a sentinel file exists,
+so the test can SIGTERM the server mid-job deterministically, then create
+the sentinel and restart the server to let the recovered job finish.
+
+Usage: ``python -m tests.service._slow_serve SENTINEL [serve args...]``
+"""
+
+import sys
+import time
+
+import repro.service.core as core
+from repro.service.cli import serve_main
+from tests.service.helpers import fake_result
+
+
+def main() -> int:
+    sentinel = sys.argv[1]
+
+    def slow_task(payload):
+        while True:
+            try:
+                with open(sentinel):
+                    break
+            except OSError:
+                time.sleep(0.05)
+        return fake_result(payload)
+
+    original_init = core.SimulationService.__init__
+
+    def patched_init(self, *args, **kwargs):
+        kwargs["task_fn"] = slow_task
+        original_init(self, *args, **kwargs)
+
+    core.SimulationService.__init__ = patched_init
+    return serve_main(sys.argv[2:])
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

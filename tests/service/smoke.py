@@ -1,0 +1,155 @@
+"""CI smoke test for the simulation service (not collected by pytest).
+
+Boots a real ``repro-serve`` process on an ephemeral port, drives it with
+the real ``repro-submit`` CLI, and checks the service contract end to end:
+
+1. submit a small sweep and wait for it — the fetched results must be
+   bit-identical to running the same scenarios directly with ``run_many``;
+2. a warm resubmission completes without executing a single simulation
+   (the shared result cache served everything);
+3. ``SIGTERM`` drains the server gracefully (exit code 0, drain summary).
+
+Run from the repo root::
+
+    PYTHONPATH=src:. python tests/service/smoke.py
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SEEDS = "1,2,3"
+DURATION = 15.0
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    return env
+
+
+def _start_server(workdir):
+    port_file = workdir / "port"
+    process = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.cli", "serve",
+            "--port", "0",
+            "--port-file", str(port_file),
+            "--workers", "2",
+            "--cache-dir", str(workdir / "cache"),
+            "--journal", str(workdir / "journal.jsonl"),
+            "--grace", "10",
+        ],
+        cwd=str(REPO_ROOT),
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            _, port = port_file.read_text().split()
+            return process, f"http://127.0.0.1:{port}"
+        if process.poll() is not None:
+            break
+        time.sleep(0.1)
+    process.kill()
+    raise SystemExit(f"FAIL: server did not come up:\n{process.communicate()[0]}")
+
+
+def _submit(url, json_path):
+    command = [
+        sys.executable, "-m", "repro.service.cli", "submit",
+        "--url", url,
+        "submit", "--preset", "tiny", "--duration", str(DURATION),
+        "--seeds", SEEDS, "--wait", "--json", str(json_path),
+    ]
+    proc = subprocess.run(
+        command, cwd=str(REPO_ROOT), env=_env(),
+        capture_output=True, text=True, timeout=300,
+    )
+    sys.stdout.write(proc.stdout)
+    sys.stderr.write(proc.stderr)
+    if proc.returncode != 0:
+        raise SystemExit(f"FAIL: repro-submit exited {proc.returncode}")
+    return json.loads(json_path.read_text())
+
+
+def _reference_payloads():
+    from repro.analysis.cache import result_to_payload
+    from repro.analysis.runner import run_many
+    from repro.scenarios import presets
+
+    configs = [
+        presets.tiny_scenario(seed=int(seed)).but(packet_rate=3.0, duration=DURATION)
+        for seed in SEEDS.split(",")
+    ]
+    return [result_to_payload(r) for r in run_many(configs, processes=1)]
+
+
+def main():
+    workdir = Path(tempfile.mkdtemp(prefix="repro-service-smoke-"))
+    server, url = _start_server(workdir)
+    try:
+        print(f"== server up at {url}")
+
+        print("== cold submission (3 scenarios, --wait)")
+        fetched = _submit(url, workdir / "cold.json")
+        reference = _reference_payloads()
+        if fetched != reference:
+            raise SystemExit("FAIL: service results differ from direct run_many")
+        print("== results bit-identical to run_many")
+
+        print("== warm resubmission (must be pure cache hits)")
+        refetched = _submit(url, workdir / "warm.json")
+        if refetched != reference:
+            raise SystemExit("FAIL: warm results differ from the cold run")
+
+        metrics = subprocess.run(
+            [
+                sys.executable, "-m", "repro.service.cli", "submit",
+                "--url", url, "metrics",
+            ],
+            cwd=str(REPO_ROOT), env=_env(),
+            capture_output=True, text=True, timeout=30,
+        ).stdout
+        executed = cache_hits = None
+        for line in metrics.splitlines():
+            if line.startswith("repro_service_sims_executed "):
+                executed = float(line.split()[1])
+            if line.startswith("repro_service_sims_cache_hits "):
+                cache_hits = float(line.split()[1])
+        if executed != 3.0:
+            raise SystemExit(f"FAIL: expected 3 executed simulations, saw {executed}")
+        if not cache_hits or cache_hits < 3.0:
+            raise SystemExit(f"FAIL: warm run should be cache-served, saw {cache_hits}")
+        print(f"== /metrics: executed={executed:g} cache_hits={cache_hits:g}")
+    finally:
+        if server.poll() is None:
+            server.send_signal(signal.SIGTERM)
+        try:
+            out, _ = server.communicate(timeout=60)
+        except subprocess.TimeoutExpired:
+            server.kill()
+            raise SystemExit("FAIL: server did not drain within 60s of SIGTERM")
+    if server.returncode != 0:
+        raise SystemExit(f"FAIL: server exited {server.returncode}:\n{out}")
+    if "drained:" not in out:
+        raise SystemExit(f"FAIL: no drain summary in server output:\n{out}")
+    print("== graceful drain confirmed")
+    print("SERVICE SMOKE OK")
+
+
+if __name__ == "__main__":
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    main()

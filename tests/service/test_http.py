@@ -1,0 +1,215 @@
+"""Tests for the HTTP API + typed client against a live in-process server."""
+
+import threading
+
+import pytest
+
+from repro.analysis.runner import run_many
+from repro.scenarios.io import scenario_to_dict
+from repro.service.client import JobFailedError, QueueFullError, ServiceClient, ServiceError
+from repro.service.core import SimulationService
+from repro.service.http import ServiceHTTPServer
+
+from tests.service.helpers import CountingTask, small_config
+
+
+class LiveServer:
+    """A SimulationService + HTTP server on an ephemeral port."""
+
+    def __init__(self, **service_kwargs):
+        self.service = SimulationService(**service_kwargs)
+        self.httpd = ServiceHTTPServer(("127.0.0.1", 0), self.service)
+        self.thread = threading.Thread(target=self.httpd.serve_forever, daemon=True)
+
+    def __enter__(self):
+        self.service.start()
+        self.thread.start()
+        return ServiceClient(
+            f"http://127.0.0.1:{self.httpd.port}", client_id="pytest", timeout=30.0
+        )
+
+    def __exit__(self, *exc_info):
+        self.httpd.shutdown()
+        self.service.drain(grace_s=5.0)
+
+
+def _fake_server(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("task_fn", CountingTask())
+    return LiveServer(**kwargs)
+
+
+# -- the acceptance path -----------------------------------------------------
+
+
+def test_submit_poll_fetch_is_bit_identical_to_run_many(tmp_path):
+    configs = [small_config(seed=s) for s in (1, 2)]
+    with LiveServer(workers=2, cache_dir=str(tmp_path / "cache")) as client:
+        job_id = client.submit(configs)
+        status = client.wait(job_id, timeout=120)
+        assert status["state"] == "done"
+        fetched = client.results(job_id)
+    assert fetched == run_many(configs, processes=1)
+
+
+def test_submit_accepts_payload_dicts():
+    payload = scenario_to_dict(small_config(seed=3))
+    with _fake_server() as client:
+        job_id = client.submit(payload)
+        results = client.fetch(job_id, timeout=30)
+    assert len(results) == 1
+    assert results[0].data_sent == 103
+
+
+# -- admission over HTTP -----------------------------------------------------
+
+
+def test_full_queue_maps_to_429_with_retry_after():
+    # Workers aren't started, so the first job stays pending and fills the
+    # queue; the refusal must not disturb it.
+    server = LiveServer(workers=1, task_fn=CountingTask(), max_queue_depth=1)
+    server.thread.start()  # HTTP only: service deliberately not started
+    client = ServiceClient(f"http://127.0.0.1:{server.httpd.port}", client_id="pytest")
+    try:
+        accepted = client.submit([small_config(seed=1)])
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit([small_config(seed=2)])
+        assert excinfo.value.status == 429
+        assert excinfo.value.retry_after_s >= 1.0
+        assert client.status(accepted)["state"] == "pending"
+        server.service.start()  # now let it run: the accepted job completes
+        assert client.wait(accepted, timeout=30)["state"] == "done"
+    finally:
+        server.httpd.shutdown()
+        server.service.drain(grace_s=5.0)
+
+
+def test_draining_service_maps_to_503():
+    # Drain the service but keep the HTTP thread alive: submissions must
+    # bounce with 503 while health reports the drain.
+    server = _fake_server()
+    server.service.start()
+    server.thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.httpd.port}")
+    server.service.drain(grace_s=1.0)
+    try:
+        with pytest.raises(QueueFullError) as excinfo:
+            client.submit([small_config(seed=1)])
+        assert excinfo.value.status == 503
+        assert client.health()["status"] == "draining"
+    finally:
+        server.httpd.shutdown()
+
+
+# -- errors ------------------------------------------------------------------
+
+
+def test_bad_requests_are_400():
+    with _fake_server() as client:
+        with pytest.raises(ServiceError) as no_body:
+            client._request("POST", "/v1/jobs", {})
+        assert no_body.value.status == 400
+        with pytest.raises(ServiceError) as bad_scenario:
+            client.submit([{"definitely": "not a scenario"}])
+        assert bad_scenario.value.status == 400
+        with pytest.raises(ServiceError) as bad_priority:
+            client._request(
+                "POST",
+                "/v1/jobs",
+                {
+                    "scenarios": [scenario_to_dict(small_config())],
+                    "priority": "high",
+                },
+            )
+        assert bad_priority.value.status == 400
+
+
+def test_unknown_job_and_route_are_404():
+    with _fake_server() as client:
+        with pytest.raises(ServiceError) as no_job:
+            client.status("feedfacedeadbeef")
+        assert no_job.value.status == 404
+        with pytest.raises(ServiceError) as no_route:
+            client._request("GET", "/v2/nope")
+        assert no_route.value.status == 404
+
+
+def test_failed_job_fetch_raises_job_failed():
+    def broken(payload):
+        raise RuntimeError("injected")
+
+    with _fake_server(task_fn=broken, retries=0) as client:
+        job_id = client.submit([small_config(seed=1)])
+        with pytest.raises(JobFailedError) as excinfo:
+            client.fetch(job_id, timeout=30)
+        assert "injected" in str(excinfo.value)
+
+
+# -- job management ----------------------------------------------------------
+
+
+def test_delete_cancels_pending_then_removes_record():
+    server = LiveServer(workers=1, task_fn=CountingTask())
+    server.thread.start()  # no workers: job stays pending
+    client = ServiceClient(f"http://127.0.0.1:{server.httpd.port}")
+    try:
+        job_id = client.submit([small_config(seed=1)])
+        assert client.cancel(job_id)["state"] == "cancelled"
+        assert client.cancel(job_id) == {"id": job_id, "deleted": True, "_status": 200}
+        with pytest.raises(ServiceError) as excinfo:
+            client.status(job_id)
+        assert excinfo.value.status == 404
+    finally:
+        server.httpd.shutdown()
+        server.service.drain(grace_s=1.0)
+
+
+def test_list_jobs_and_result_before_done():
+    server = LiveServer(workers=1, task_fn=CountingTask())
+    server.thread.start()
+    client = ServiceClient(f"http://127.0.0.1:{server.httpd.port}")
+    try:
+        job_id = client.submit([small_config(seed=1)])
+        jobs = client.list_jobs()
+        assert [job["id"] for job in jobs] == [job_id]
+        with pytest.raises(ServiceError) as excinfo:  # pending: 202, no results
+            client.results(job_id)
+        assert "not finished" in str(excinfo.value)
+    finally:
+        server.httpd.shutdown()
+        server.service.drain(grace_s=1.0)
+
+
+# -- observability endpoints -------------------------------------------------
+
+
+def test_healthz_and_metrics_exposition():
+    with _fake_server() as client:
+        job_id = client.submit([small_config(seed=s) for s in (1, 2)])
+        client.wait(job_id, timeout=30)
+        health = client.health()
+        assert health["status"] == "ok"
+        assert health["jobs"]["done"] == 1
+        assert health["workers"] == 2
+        text = client.metrics_text()
+    lines = dict(
+        line.rsplit(" ", 1) for line in text.strip().splitlines()
+    )
+    assert lines["repro_service_jobs_submitted"] == "1"
+    assert lines["repro_service_jobs_done"] == "1"
+    assert lines["repro_service_sims_executed"] == "2"
+    assert float(lines["repro_service_job_wall_s_count"]) == 1.0
+
+
+def test_sse_stream_ends_with_done_event():
+    with _fake_server() as client:
+        job_id = client.submit([small_config(seed=1)])
+        events = list(client.events(job_id))
+    kinds = [event["event"] for event in events]
+    assert kinds[-1] == "done"
+    assert "progress" in kinds
+    assert events[-1]["data"]["state"] == "done"
+    # Every progress event carries the full status resource.
+    assert all(
+        event["data"]["id"] == job_id for event in events if event["event"] == "progress"
+    )

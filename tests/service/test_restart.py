@@ -1,0 +1,125 @@
+"""Restart-under-fire: SIGTERM a live server mid-job, restart, complete.
+
+This is the crash-recovery acceptance test, run against real processes
+through the production ``repro-serve`` signal path (see ``_slow_serve``):
+
+1. boot a server whose task function blocks until a sentinel file exists;
+2. submit a job and wait until it is running;
+3. ``SIGTERM`` the server — it must drain, checkpoint the running job
+   back to pending in the journal, and exit cleanly;
+4. create the sentinel, boot a second server on the same journal — it
+   must re-enqueue the recovered job and complete it.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.scenarios.io import scenario_to_dict
+from repro.service.client import ServiceClient
+
+from tests.service.helpers import fake_result, small_config
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def _spawn_server(tmp_path, sentinel, journal):
+    port_file = tmp_path / f"port.{os.getpid()}.{time.monotonic_ns()}"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO_ROOT / "src"), str(REPO_ROOT)]
+        + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "tests.service._slow_serve",
+            str(sentinel),
+            "--port",
+            "0",
+            "--port-file",
+            str(port_file),
+            "--workers",
+            "1",
+            "--journal",
+            str(journal),
+            "--grace",
+            "0.5",
+        ],
+        cwd=str(REPO_ROOT),
+        env=env,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+    )
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            _, port = port_file.read_text().split()
+            return process, ServiceClient(f"http://127.0.0.1:{port}")
+        if process.poll() is not None:
+            break
+        time.sleep(0.05)
+    out = process.communicate(timeout=5)[0] if process.poll() is None else process.stdout.read()
+    process.kill()
+    pytest.fail(f"server did not come up: {out}")
+
+
+def _wait_for_state(client, job_id, state, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        status = client.status(job_id)
+        if status["state"] == state:
+            return status
+        time.sleep(0.05)
+    pytest.fail(f"job {job_id} never reached {state!r} (last: {status['state']})")
+
+
+def test_sigterm_checkpoints_and_restart_completes(tmp_path):
+    sentinel = tmp_path / "let-jobs-finish"
+    journal = tmp_path / "journal.jsonl"
+    config = small_config(seed=6)
+
+    server, client = _spawn_server(tmp_path, sentinel, journal)
+    try:
+        job_id = client.submit([config])
+        _wait_for_state(client, job_id, "running")
+        server.send_signal(signal.SIGTERM)
+        out, _ = server.communicate(timeout=30)
+    finally:
+        if server.poll() is None:
+            server.kill()
+    assert server.returncode == 0, out
+    assert "1 checkpointed" in out
+
+    # The journal must carry the full story: submitted, ran, checkpointed.
+    events = [
+        json.loads(line)["event"]
+        for line in journal.read_text().splitlines()
+        if line.strip()
+    ]
+    assert events.count("submit") == 1
+    assert "state" in events  # pending -> running
+    assert "checkpoint" in events
+
+    # Restart on the same journal with the sentinel present: the recovered
+    # job re-runs and completes with the deterministic expected result.
+    sentinel.write_text("go\n")
+    server, client = _spawn_server(tmp_path, sentinel, journal)
+    try:
+        status = _wait_for_state(client, job_id, "done")
+        assert status["recovered"] is True
+        [result] = client.results(job_id)
+        assert result == fake_result(scenario_to_dict(config))
+    finally:
+        server.send_signal(signal.SIGTERM)
+        out, _ = server.communicate(timeout=30)
+        assert server.returncode == 0, out
+    assert "recovered 1 unfinished job(s)" in out

@@ -1,0 +1,229 @@
+"""Tests for :class:`SimulationService`: scheduling without new semantics."""
+
+import pytest
+
+from repro.analysis.runner import run_many
+from repro.errors import ConfigurationError
+from repro.service.core import (
+    JobNotCancellableError,
+    JobNotFoundError,
+    JobNotReadyError,
+    ServiceDrainingError,
+    SimulationService,
+)
+from repro.service.jobs import JobState
+from repro.service.queue import AdmissionError
+
+from tests.service.helpers import BlockingTask, CountingTask, small_config
+
+
+def _service(**kwargs):
+    kwargs.setdefault("workers", 2)
+    kwargs.setdefault("task_fn", CountingTask())
+    return SimulationService(**kwargs)
+
+
+# -- the determinism contract ------------------------------------------------
+
+
+def test_job_results_are_bit_identical_to_run_many(tmp_path):
+    configs = [small_config(seed=s) for s in (1, 2)]
+    with SimulationService(workers=2, cache_dir=str(tmp_path / "cache")) as service:
+        job = service.submit(configs)
+        service.wait(job.id, timeout=120)
+        assert job.state is JobState.DONE
+        results = service.job_results(job.id)
+    assert results == run_many(configs, processes=1)
+
+
+def test_results_keep_submission_order_with_duplicates():
+    task = CountingTask()
+    configs = [small_config(seed=s) for s in (2, 1, 2)]
+    with _service(task_fn=task) as service:
+        job = service.submit(configs)
+        service.wait(job.id, timeout=30)
+        results = service.job_results(job.id)
+    assert [r.data_sent for r in results] == [102, 101, 102]
+    assert sorted(task.calls) == [1, 2]  # the duplicate cost nothing
+
+
+# -- caching across jobs -----------------------------------------------------
+
+
+def test_warm_cache_job_executes_nothing(tmp_path):
+    task = CountingTask()
+    configs = [small_config(seed=s) for s in (1, 2)]
+    with _service(task_fn=task, cache_dir=str(tmp_path / "cache")) as service:
+        first = service.submit(configs)
+        service.wait(first.id, timeout=30)
+        second = service.submit(configs)
+        service.wait(second.id, timeout=30)
+        assert second.state is JobState.DONE
+        assert service.job_results(second.id) == service.job_results(first.id)
+        assert second.progress.cached == 2
+        assert second.progress.executed == 0
+    assert sorted(task.calls) == [1, 2]  # two scenarios, two executions, ever
+
+
+def test_concurrent_identical_jobs_execute_once():
+    # Two identical submissions racing on two workers: the in-flight dedup
+    # table must coalesce them onto one execution.
+    task = BlockingTask()
+    config = small_config(seed=7)
+    with _service(task_fn=task, workers=2) as service:
+        first = service.submit([config])
+        second = service.submit([config])
+        assert task.started.wait(timeout=10)
+        task.release.set()
+        service.wait(first.id, timeout=30)
+        service.wait(second.id, timeout=30)
+        assert first.state is JobState.DONE
+        assert second.state is JobState.DONE
+        assert service.job_results(first.id) == service.job_results(second.id)
+    assert task.calls == [7]  # exactly one simulation
+
+
+# -- admission ---------------------------------------------------------------
+
+
+def test_full_queue_refuses_without_dropping_accepted():
+    service = _service(max_queue_depth=1)  # not started: jobs stay pending
+    accepted = service.submit([small_config(seed=1)])
+    with pytest.raises(AdmissionError):
+        service.submit([small_config(seed=2)])
+    assert [job.id for job in service.jobs()] == [accepted.id]
+    assert accepted.state is JobState.PENDING
+    service.start()
+    service.wait(accepted.id, timeout=30)
+    assert accepted.state is JobState.DONE  # the refusal cost it nothing
+    service.drain(grace_s=5)
+
+
+def test_per_client_inflight_limit():
+    service = _service(max_inflight_per_client=1)
+    service.submit([small_config(seed=1)], client="greedy")
+    with pytest.raises(AdmissionError):
+        service.submit([small_config(seed=2)], client="greedy")
+    service.submit([small_config(seed=3)], client="patient")  # others unaffected
+    service.drain(grace_s=0)
+
+
+def test_empty_and_invalid_submissions_are_rejected_up_front():
+    service = _service()
+    with pytest.raises(ConfigurationError):
+        service.submit([])
+    with pytest.raises(ConfigurationError):
+        service.submit([{"num_nodes": "not-a-scenario"}])
+    assert service.jobs() == []
+    service.drain(grace_s=0)
+
+
+# -- lifecycle ---------------------------------------------------------------
+
+
+def test_cancel_pending_then_delete_record():
+    service = _service(workers=1)  # not started
+    job = service.submit([small_config(seed=1)])
+    service.cancel(job.id)
+    assert job.state is JobState.CANCELLED
+    service.cancel(job.id)  # terminal: deletes the record
+    with pytest.raises(JobNotFoundError):
+        service.get_job(job.id)
+    service.drain(grace_s=0)
+
+
+def test_cancel_running_job_is_refused():
+    task = BlockingTask()
+    with _service(task_fn=task, workers=1) as service:
+        job = service.submit([small_config(seed=1)])
+        assert task.started.wait(timeout=10)
+        with pytest.raises(JobNotCancellableError):
+            service.cancel(job.id)
+        task.release.set()
+        service.wait(job.id, timeout=30)
+
+
+def test_failed_job_reports_error_not_results():
+    def broken(payload):
+        raise ValueError("injected simulation failure")
+
+    with _service(task_fn=broken, retries=0) as service:
+        job = service.submit([small_config(seed=1)])
+        service.wait(job.id, timeout=30)
+        assert job.state is JobState.FAILED
+        assert "injected simulation failure" in job.error
+        with pytest.raises(JobNotReadyError):
+            service.job_results(job.id)
+
+
+def test_draining_service_refuses_submissions():
+    service = _service()
+    service.start()
+    service.drain(grace_s=1)
+    with pytest.raises(ServiceDrainingError):
+        service.submit([small_config(seed=1)])
+
+
+# -- journal integration -----------------------------------------------------
+
+
+def test_restarted_service_requeues_and_completes(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    task = BlockingTask()
+    first = _service(task_fn=task, workers=1, journal_path=journal)
+    first.start()
+    job = first.submit([small_config(seed=4)])
+    assert task.started.wait(timeout=10)
+    # Drain with a worker stuck mid-job: the job must be checkpointed.
+    summary = first.drain(grace_s=0.2)
+    assert summary["checkpointed"] == 1
+    task.release.set()  # let the abandoned thread unwind
+
+    second = _service(workers=1, journal_path=journal)
+    recovered = second.get_job(job.id)
+    assert recovered.recovered
+    assert recovered.state is JobState.PENDING
+    assert recovered.scenarios == job.scenarios
+    second.start()
+    second.wait(job.id, timeout=30)
+    assert second.get_job(job.id).state is JobState.DONE
+    assert second.job_results(job.id)
+    second.drain(grace_s=5)
+
+
+def test_terminal_jobs_survive_restart(tmp_path):
+    journal = str(tmp_path / "journal.jsonl")
+    with _service(journal_path=journal) as service:
+        job = service.submit([small_config(seed=5)])
+        service.wait(job.id, timeout=30)
+        expected = service.job_results(job.id)
+    revived = _service(journal_path=journal)
+    assert revived.get_job(job.id).state is JobState.DONE
+    assert revived.job_results(job.id) == expected
+    revived.drain(grace_s=0)
+
+
+# -- metrics -----------------------------------------------------------------
+
+
+def test_metrics_count_jobs_and_sims(tmp_path):
+    task = CountingTask()
+    with _service(task_fn=task, cache_dir=str(tmp_path / "cache")) as service:
+        configs = [small_config(seed=s) for s in (1, 2)]
+        for _ in range(2):
+            job = service.submit(configs)
+            service.wait(job.id, timeout=30)
+        snapshot = service.metrics.snapshot()
+    assert snapshot["service.jobs.submitted"] == 2
+    assert snapshot["service.jobs.done"] == 2
+    assert snapshot["service.sims.executed"] == 2
+    assert snapshot["service.sims.cache_hits"] >= 2  # the whole second job
+    assert snapshot["service.job.wall_s.count"] == 2
+
+
+def test_wait_times_out_without_terminal_state():
+    service = _service()  # never started: the job cannot finish
+    job = service.submit([small_config(seed=1)])
+    waited = service.wait(job.id, timeout=0.2)
+    assert waited.state is JobState.PENDING
+    service.drain(grace_s=0)

@@ -176,3 +176,38 @@ def test_cli_observability_conflicts_with_seeds(capsys):
     code = main([*_TINY, "--seeds", "1,2", "--profile"])
     assert code == 2
     assert "cannot be combined with --seeds" in capsys.readouterr().err
+
+
+def test_cli_version_flag(capsys):
+    from repro.version import __version__
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert f"repro-run {__version__}" in capsys.readouterr().out
+
+
+def test_cli_cache_prune_needs_a_cache_dir(capsys):
+    code = main([*_TINY, "--cache-prune", "500MB"])
+    assert code == 2
+    assert "--cache-prune needs an effective cache" in capsys.readouterr().err
+
+
+def test_cli_cache_prune_rejects_bad_spec(tmp_path, capsys):
+    code = main(
+        [*_TINY, "--cache-dir", str(tmp_path / "cache"), "--cache-prune", "bogus"]
+    )
+    assert code == 2
+    assert "bad prune bound 'bogus'" in capsys.readouterr().err
+
+
+def test_cli_cache_prune_runs_gc_after_sweep(tmp_path, capsys):
+    cache_dir = tmp_path / "cache"
+    args = [*_TINY, "--cache-dir", str(cache_dir), "--cache-prune", "10GB,365d"]
+    assert main(args) == 0
+    err = capsys.readouterr().err
+    assert "cache gc" in err
+    assert "pruned 0/" in err
+    # The generous bounds kept the fresh entry; a warm re-run still hits.
+    assert main(args) == 0
+    assert "1 hit(s)" in capsys.readouterr().err
