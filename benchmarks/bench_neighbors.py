@@ -67,7 +67,7 @@ def test_neighbor_refresh_throughput(benchmark):
     model = _model()
 
     def run():
-        cache = NeighborCache(model, DiskPropagation(), quantum=0.05)
+        cache = NeighborCache(model, DiskPropagation(), quantum=0.05, index="allpairs")
         degree = 0
         for t in np.arange(0.0, DURATION, 0.05):
             degree += len(cache.rx_neighbors(0, float(t)))
@@ -75,6 +75,35 @@ def test_neighbor_refresh_throughput(benchmark):
 
     degree = benchmark(run)
     assert degree > 0
+
+
+def test_grid_refresh_throughput(benchmark):
+    """Same workload on the uniform-grid index: per-quantum cost is bucket
+    reuse plus a 3x3-block query instead of the dense n^2 matrix."""
+    model = _model()
+
+    def run():
+        cache = NeighborCache(model, DiskPropagation(), quantum=0.05, index="grid")
+        degree = 0
+        for t in np.arange(0.0, DURATION, 0.05):
+            degree += len(cache.rx_neighbors(0, float(t)))
+        return degree
+
+    degree = benchmark(run)
+    assert degree > 0
+
+
+def test_grid_matches_allpairs_degree():
+    """Cheap smoke (runs even with --benchmark-disable): both backends see
+    the same neighbourhood over the whole run."""
+    model = _model()
+    allpairs = NeighborCache(model, DiskPropagation(), quantum=0.05, index="allpairs")
+    grid = NeighborCache(model, DiskPropagation(), quantum=0.05, index="grid")
+    for t in np.arange(0.0, DURATION, 2.5):
+        for node_id in (0, NODES // 2, NODES - 1):
+            assert allpairs.rx_neighbors(node_id, float(t)) == grid.rx_neighbors(
+                node_id, float(t)
+            )
 
 
 def test_route_valid_throughput(benchmark):

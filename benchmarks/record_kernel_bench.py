@@ -12,7 +12,13 @@ the seed tree on the same machine with the same best-of-N protocol):
   mobility point: continuous motion),
 * engine event throughput (chained-tick microbenchmark),
 * engine throughput under MAC-like cancel churn (the case heap compaction
-  exists for).
+  exists for),
+* a node-count scaling curve (100/300/1000 nodes at the paper's density)
+  for the per-quantum neighbour refresh, all-pairs matrix vs uniform-grid
+  cell list, with the neighbour sets asserted identical,
+* a 100-node cross-backend full simulation, metrics asserted bit-identical,
+* seed-batched ``run_many`` vs per-seed pool dispatch on a multi-seed
+  100-node sweep, results asserted identical.
 
 The scenario's metrics are asserted equal to the baseline's, bit for bit —
 a speedup that changes simulation output is a bug, not a win.
@@ -27,11 +33,26 @@ import sys
 import time
 from pathlib import Path
 
+import numpy as np
+
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.scenarios.builder import build_simulation  # noqa: E402
-from repro.scenarios.presets import scaled_scenario  # noqa: E402
+from repro.analysis.runner import run_many  # noqa: E402
+from repro.mobility.waypoint import RandomWaypointModel  # noqa: E402
+from repro.phy.neighbors import NeighborCache  # noqa: E402
+from repro.phy.propagation import DiskPropagation  # noqa: E402
+from repro.scenarios.builder import build_simulation, run_scenario  # noqa: E402
+from repro.scenarios.presets import paper_scenario, scaled_scenario  # noqa: E402
 from repro.sim.engine import Simulator  # noqa: E402
+
+# The paper's node density (100 nodes per 2200 m x 600 m), held constant as
+# the node count grows so neighbourhood size — and therefore the grid's
+# per-query work — stays realistic while the all-pairs matrix grows as n^2.
+SCALING_FIELDS = (
+    (100, 2200.0, 600.0),
+    (300, 3811.0, 1039.0),
+    (1000, 6957.0, 1897.0),
+)
 
 # Captured from the seed tree (commit 1591702) on the same host, same
 # best-of-3 protocol, before any of the hot-path work in this change.
@@ -115,6 +136,122 @@ def measure_cancel_churn(rounds: int, n: int = 50_000) -> float:
     return max(once() for _ in range(rounds))
 
 
+def _refresh_loop(cache: NeighborCache, duration: float, quantum: float, senders) -> float:
+    """Wall time of a sim-shaped neighbour workload: one refresh per quantum
+    plus rx/cs queries for a handful of concurrently active senders."""
+    start = time.perf_counter()
+    for t in np.arange(0.0, duration, quantum):
+        now = float(t)
+        for node_id in senders:
+            cache.rx_neighbors(node_id, now)
+            cache.cs_neighbors(node_id, now)
+    return time.perf_counter() - start
+
+
+def measure_scaling(rounds: int, duration: float = 20.0, quantum: float = 0.05) -> list:
+    propagation = DiskPropagation(rx_range=250.0, cs_range=550.0)
+    entries = []
+    for n, width, height in SCALING_FIELDS:
+        model = RandomWaypointModel(
+            num_nodes=n,
+            width=width,
+            height=height,
+            duration=duration,
+            rng=np.random.default_rng(97),
+            max_speed=20.0,
+            pause_time=0.0,
+        )
+        senders = list(range(0, n, max(1, n // 8)))
+
+        def fresh(index: str) -> NeighborCache:
+            return NeighborCache(model, propagation, quantum=quantum, index=index)
+
+        walls = {
+            index: min(
+                _refresh_loop(fresh(index), duration, quantum, senders)
+                for _ in range(rounds)
+            )
+            for index in ("allpairs", "grid")
+        }
+
+        # The speedup only counts if the answers are the same.
+        allpairs, grid = fresh("allpairs"), fresh("grid")
+        for t in (0.0, duration / 2.0, duration - quantum):
+            for node_id in senders:
+                if allpairs.rx_neighbors(node_id, t) != grid.rx_neighbors(
+                    node_id, t
+                ) or allpairs.cs_neighbors(node_id, t) != grid.cs_neighbors(node_id, t):
+                    raise SystemExit(
+                        f"index divergence at n={n}, t={t}, node {node_id}"
+                    )
+
+        entries.append(
+            {
+                "nodes": n,
+                "field_m": [width, height],
+                "allpairs_refresh_wall_s": round(walls["allpairs"], 3),
+                "grid_refresh_wall_s": round(walls["grid"], 3),
+                "speedup": round(walls["allpairs"] / walls["grid"], 1),
+                "neighbor_sets_identical": True,
+            }
+        )
+    return entries
+
+
+def _bench_scenario(seed: int):
+    return paper_scenario(pause_time=0.0, seed=seed).but(duration=12.0, num_sessions=8)
+
+
+def measure_cross_index() -> dict:
+    """Full 100-node simulations must not depend on the index backend."""
+    results = {
+        index: run_scenario(_bench_scenario(7).but(neighbor_index=index))
+        for index in ("allpairs", "grid")
+    }
+    if results["allpairs"] != results["grid"]:
+        raise SystemExit("100-node metrics diverged between index backends")
+    return {
+        "scenario": "paper_scenario(pause_time=0.0, seed=7).but(duration=12.0, num_sessions=8)",
+        "metrics": {
+            "data_sent": results["grid"].data_sent,
+            "data_received": results["grid"].data_received,
+            "delay_sum": results["grid"].delay_sum,
+        },
+        "bit_identical": True,
+    }
+
+
+def measure_seed_batch(rounds: int, seeds: int = 4) -> dict:
+    """Per-seed pool dispatch vs one seed-batched unit for the same sweep."""
+    configs = [_bench_scenario(seed) for seed in range(1, seeds + 1)]
+
+    def run(seed_batch: int):
+        start = time.perf_counter()
+        results = run_many(configs, processes=2, seed_batch=seed_batch)
+        return time.perf_counter() - start, results
+
+    per_seed_walls, batched_walls = [], []
+    expected = None
+    for _ in range(rounds):
+        wall, results = run(1)
+        per_seed_walls.append(wall)
+        expected = results
+        wall, results = run(len(configs))
+        batched_walls.append(wall)
+        if results != expected:
+            raise SystemExit("seed-batched sweep results diverged from per-seed")
+    per_seed, batched = min(per_seed_walls), min(batched_walls)
+    return {
+        "scenario": "paper_scenario(pause_time=0.0).but(duration=12.0, num_sessions=8)",
+        "seeds": seeds,
+        "processes": 2,
+        "per_seed_dispatch_wall_s": round(per_seed, 3),
+        "seed_batched_wall_s": round(batched, 3),
+        "speedup": round(per_seed / batched, 2),
+        "results_identical": True,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=3, help="best-of-N rounds")
@@ -128,6 +265,11 @@ def main() -> None:
     full = measure_full_run(args.rounds)
     chained = measure_chained(args.rounds)
     churn = measure_cancel_churn(args.rounds)
+    # Scaling and sweep benches are heavier per round; best-of-2 is plenty.
+    slow_rounds = max(1, min(args.rounds, 2))
+    scaling = measure_scaling(slow_rounds)
+    cross_index = measure_cross_index()
+    seed_batch = measure_seed_batch(slow_rounds)
 
     report = {
         "benchmark": "kernel hot path (scaled pause-0 scenario + engine microbenches)",
@@ -151,9 +293,21 @@ def main() -> None:
             ),
         },
         "metrics_bit_identical_to_baseline": True,
+        "neighbor_index_scaling": {
+            "workload": (
+                "20 s of 0.05 s quanta, random-waypoint at the paper's density, "
+                "rx+cs queries for ~8 active senders per quantum"
+            ),
+            "protocol": f"best of {slow_rounds} rounds",
+            "curve": scaling,
+        },
+        "cross_index_full_run": cross_index,
+        "seed_batched_sweep": seed_batch,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report["speedup"], indent=2))
+    print(json.dumps(scaling, indent=2))
+    print(json.dumps(seed_batch, indent=2))
     print(f"wrote {args.output}")
 
 

@@ -14,8 +14,11 @@ modes — the only thing that differs is which map drains the task list:
 2. keys already resolved (session memo, then on-disk cache) short-circuit;
 3. duplicate keys within the batch collapse to one simulation;
 4. remaining tasks are ordered longest-job-first (low-pause / high-load
-   scenarios dominate wall time, so they must start early) and drained via
-   ``imap_unordered`` for pool load balancing;
+   scenarios dominate wall time, so they must start early), optionally
+   grouped into seed batches (``seed_batch`` > 1 chunks replications of one
+   grid point into a single dispatch unit, amortising process spawn and
+   import cost across seeds), and drained via ``imap_unordered`` for pool
+   load balancing;
 5. a task whose worker raises or dies is retried in the parent process, a
    bounded number of times; failures that survive the retries raise
    :class:`SweepExecutionError` — never silently dropped;
@@ -71,6 +74,32 @@ def _guarded(
     except Exception as exc:  # surfaced to the parent, retried there
         wall = time.perf_counter() - start  # repro-lint: disable=DET001
         return key, None, f"{type(exc).__name__}: {exc}", wall
+
+
+def _guarded_batch(
+    task_fn: TaskFn, batch: List[Tuple[str, dict]]
+) -> List[Tuple[str, Optional[SimulationResult], Optional[str], float]]:
+    """Run a batch of tasks sequentially in one process.
+
+    One pool dispatch covers every replication in the batch, so process
+    spawn, interpreter/numpy import and warm allocator state are amortised
+    across the batch instead of paid per seed.  Each task is still
+    individually guarded: one bad payload fails alone and is retried alone.
+    """
+    return [_guarded(task_fn, task) for task in batch]
+
+
+def _grid_point_key(payload: dict) -> str:
+    """Canonical identity of a payload's sweep grid point (seed excluded).
+
+    Replications of one grid point differ only in ``payload["seed"]``;
+    batching groups by everything else so a batch is "the same scenario, N
+    seeds" — the unit the paper's mean-and-CI aggregation consumes.
+    """
+    from repro.scenarios.io import scenario_canonical_json
+
+    reduced = {name: value for name, value in payload.items() if name != "seed"}
+    return scenario_canonical_json(reduced)
 
 
 def estimate_cost(payload: dict) -> float:
@@ -181,10 +210,20 @@ class SweepEngine:
         progress: Optional[ProgressFn] = None,
         task_fn: Optional[TaskFn] = None,
         manifest_path: Optional[os.PathLike] = None,
+        seed_batch: int = 1,
     ):
         self.processes = processes
         self.cache = cache
         self.retries = max(0, retries)
+        # Replications-per-dispatch: tasks sharing a grid point (identical
+        # payload apart from the seed) are grouped into units of up to
+        # ``seed_batch`` and executed sequentially inside one worker, so
+        # per-process overhead (spawn, imports) and per-task IPC are paid
+        # once per batch rather than once per seed.  1 keeps the historic
+        # one-task-per-dispatch behaviour.
+        if seed_batch < 1:
+            raise ValueError("seed_batch must be >= 1")
+        self.seed_batch = seed_batch
         self.progress = progress
         self._task_fn = task_fn or _run_payload
         self._memo: Dict[str, SimulationResult] = {}
@@ -253,13 +292,14 @@ class SweepEngine:
             key=lambda task: estimate_cost(task[1]),
             reverse=True,
         )
+        batches = self._batch_tasks(tasks)
 
         executed = 0
         retries = 0
         failures: Dict[str, str] = {}
         task_walls: Dict[str, float] = {}
         last_wall: List[Optional[float]] = [None]
-        processes = self._resolve_processes(len(tasks))
+        processes = self._resolve_processes(len(batches))
 
         def note_progress() -> None:
             if self.progress is None:
@@ -296,7 +336,7 @@ class SweepEngine:
             for index in pending[key]:
                 results[index] = result
 
-        completions = self._completions(tasks, processes)
+        completions = self._completions(batches, processes)
         interrupted = False
         try:
             note_progress()
@@ -379,23 +419,59 @@ class SweepEngine:
         processes = self.processes or multiprocessing.cpu_count()
         return max(1, min(processes, n_tasks))
 
-    def _completions(
-        self, tasks: List[Tuple[str, dict]], processes: int
-    ) -> Iterable[Tuple[str, Optional[SimulationResult], Optional[str], float]]:
-        """Drain tasks, yielding ``(key, result, error, wall_s)`` as they
-        finish.
+    def _batch_tasks(
+        self, tasks: List[Tuple[str, dict]]
+    ) -> List[List[Tuple[str, dict]]]:
+        """Group the (cost-ordered) task list into dispatch units.
 
-        Both branches consume the same longest-job-first task list through
-        the same guarded wrapper; pooled mode merely overlaps them.
+        With ``seed_batch`` == 1 every task is its own unit.  Otherwise tasks
+        sharing a grid point (identical payload apart from the seed) are
+        chunked into runs of up to ``seed_batch``; units are then re-ordered
+        longest-total-first so the pool's load balancing keeps working at
+        batch granularity.  Grouping is deterministic: groups form in task
+        (cost) order and the final sort is stable.
         """
-        guarded = functools.partial(_guarded, self._task_fn)
-        if processes <= 1 or len(tasks) <= 1:
-            for task in tasks:
-                yield guarded(task)
+        if self.seed_batch <= 1:
+            return [[task] for task in tasks]
+        groups: Dict[str, List[Tuple[str, dict]]] = {}
+        group_order: List[str] = []
+        for task in tasks:
+            point = _grid_point_key(task[1])
+            if point not in groups:
+                groups[point] = []
+                group_order.append(point)
+            groups[point].append(task)
+        batches: List[List[Tuple[str, dict]]] = []
+        for point in group_order:
+            group = groups[point]
+            for lo in range(0, len(group), self.seed_batch):
+                batches.append(group[lo : lo + self.seed_batch])
+        batches.sort(
+            key=lambda batch: sum(estimate_cost(payload) for _, payload in batch),
+            reverse=True,
+        )
+        return batches
+
+    def _completions(
+        self, batches: List[List[Tuple[str, dict]]], processes: int
+    ) -> Iterable[Tuple[str, Optional[SimulationResult], Optional[str], float]]:
+        """Drain dispatch units, yielding per-task ``(key, result, error,
+        wall_s)`` tuples as they finish.
+
+        Both branches consume the same longest-job-first unit list through
+        the same guarded wrapper; pooled mode merely overlaps units.  A
+        pooled unit's results arrive together when the whole unit finishes
+        (progress is batch-granular under ``seed_batch`` > 1).
+        """
+        guarded_batch = functools.partial(_guarded_batch, self._task_fn)
+        if processes <= 1 or len(batches) <= 1:
+            for batch in batches:
+                yield from guarded_batch(batch)
             return
         context = multiprocessing.get_context("spawn")
         with context.Pool(processes=processes) as pool:
-            yield from pool.imap_unordered(guarded, tasks)
+            for settled in pool.imap_unordered(guarded_batch, batches):
+                yield from settled
 
     # -- figure-shaped conveniences ---------------------------------------
 
@@ -470,15 +546,22 @@ def run_many(
     cache: Optional[ResultCache] = None,
     progress: Optional[ProgressFn] = None,
     retries: int = 1,
+    seed_batch: int = 1,
 ) -> List[SimulationResult]:
     """Run every configuration, in order, across worker processes.
 
     ``processes=1`` (or a single config) degrades to in-process execution
     through the *same* indexed pipeline — caching, dedup and result order
-    are identical in both modes.
+    are identical in both modes.  ``seed_batch`` > 1 groups replications of
+    one grid point into a single dispatch (see :class:`SweepEngine`);
+    results are identical for any batch size.
     """
     engine = SweepEngine(
-        processes=processes, cache=cache, progress=progress, retries=retries
+        processes=processes,
+        cache=cache,
+        progress=progress,
+        retries=retries,
+        seed_batch=seed_batch,
     )
     return engine.run_results(configs)
 

@@ -92,6 +92,28 @@ def _build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--seed-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "group up to N replications of the same scenario into one worker "
+            "dispatch for multi-seed runs: process spawn and import cost are "
+            "paid once per batch instead of once per seed (results are "
+            "identical for any batch size; default: 1)"
+        ),
+    )
+    parser.add_argument(
+        "--neighbor-index",
+        choices=("auto", "allpairs", "grid"),
+        default="auto",
+        help=(
+            "spatial index behind the neighbour cache: 'auto' picks the "
+            "uniform-grid cell list at large node counts, the all-pairs "
+            "matrix below; metrics are bit-identical either way"
+        ),
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=None,
@@ -217,6 +239,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         protocol=args.protocol,
         mobility_model=args.mobility,
         grey_zone_fraction=args.grey_zone,
+        neighbor_index=args.neighbor_index,
     )
     return _run_and_report(args, config)
 
@@ -372,7 +395,11 @@ def _build_engine(args):
     from repro.analysis.runner import SweepEngine
 
     cache_dir = None if getattr(args, "no_cache", False) else args.cache_dir
-    return SweepEngine.create(processes=args.processes, cache_dir=cache_dir)
+    return SweepEngine.create(
+        processes=args.processes,
+        cache_dir=cache_dir,
+        seed_batch=getattr(args, "seed_batch", 1),
+    )
 
 
 def _maybe_prune(args, prune_bounds) -> None:

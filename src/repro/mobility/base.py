@@ -83,6 +83,7 @@ class MobilityModel:
     def __init__(self, trajectories: Dict[int, Trajectory]):
         self._trajectories = dict(trajectories)
         self._pack: Optional[_TrajectoryPack] = None  # built on first use
+        self._speed_bound: Optional[float] = None  # computed on first use
 
     @property
     def node_ids(self) -> list[int]:
@@ -105,6 +106,28 @@ class MobilityModel:
             ids = self.node_ids
             self._pack = _TrajectoryPack([self._trajectories[i] for i in ids])
         return self._pack.positions(t)
+
+    def speed_bound(self) -> float:
+        """Largest speed (m/s) any node ever moves at, over all segments.
+
+        Trajectories are piecewise linear, so this bounds every node's
+        displacement over any interval: ``|p(t2) - p(t1)| <= bound * |t2 -
+        t1|``.  The grid spatial index uses it to decide how long a bucket
+        assignment stays valid (:mod:`repro.phy.spatial`); a static layout
+        returns 0.0 and is never re-bucketed.
+        """
+        if self._speed_bound is None:
+            if self._pack is None:
+                ids = self.node_ids
+                self._pack = _TrajectoryPack([self._trajectories[i] for i in ids])
+            pack = self._pack
+            if pack.vx.size == 0:
+                self._speed_bound = 0.0
+            else:
+                self._speed_bound = float(
+                    np.sqrt(np.max(pack.vx * pack.vx + pack.vy * pack.vy))
+                )
+        return self._speed_bound
 
     def distance(self, a: int, b: int, t: float) -> float:
         """Euclidean distance between two nodes at time ``t``."""

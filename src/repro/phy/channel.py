@@ -146,20 +146,23 @@ class Channel:
         plan = self._plans.get(sender_id)
         if plan is None:
             rx_set = neighbors.rx_set(sender_id, now)
+            cs_list = neighbors.cs_neighbors(sender_id, now)
             radios = self._radios
-            lossy = self._lossy
+            distance_of: Dict[int, float] = {}
+            if self._lossy:
+                # One vectorized sqrt for every in-range listener, instead of
+                # a scalar np.sqrt per receiver (np.sqrt is correctly rounded,
+                # so each element is bit-identical to the scalar path).
+                rx_listeners = [nid for nid in cs_list if nid in rx_set]
+                values = neighbors.distances(sender_id, rx_listeners, now)
+                distance_of = dict(zip(rx_listeners, values.tolist()))
             plan = []
-            for node_id in neighbors.cs_neighbors(sender_id, now):
+            for node_id in cs_list:
                 radio = radios.get(node_id)
                 if radio is None:
                     continue
                 in_rx = node_id in rx_set
-                distance = (
-                    neighbors.distance(sender_id, node_id, now)
-                    if (in_rx and lossy)
-                    else 0.0
-                )
-                plan.append((radio, in_rx, distance))
+                plan.append((radio, in_rx, distance_of.get(node_id, 0.0)))
             self._plans[sender_id] = plan
         return plan
 

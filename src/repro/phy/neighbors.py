@@ -2,23 +2,41 @@
 
 Evaluating trajectories and distances for every node pair on every frame
 transmission would dominate the simulation's running time.  Instead the
-channel asks this cache, which recomputes the full *squared*-distance matrix
-(numpy, O(n^2) but vectorised) at most once per ``quantum`` seconds of
-simulated time and memoises receive/carrier-sense neighbour information.
+channel asks this cache, which refreshes its geometry at most once per
+``quantum`` seconds of simulated time and memoises receive/carrier-sense
+neighbour information.
 
-Three hot-path decisions, all determinism-preserving:
+The geometry itself lives in a pluggable spatial index
+(:mod:`repro.phy.spatial`):
+
+* ``allpairs`` — one vectorized O(n^2) squared-distance matrix per quantum.
+  Fastest up to a few hundred nodes; what the paper-scale artifacts use.
+* ``grid`` — a uniform-grid cell list (cell edge >= carrier-sense range,
+  inflated for bucket reuse), so a per-node query touches only the 3x3 cell
+  block around it.  Superlinear win at 1000+ nodes.
+* ``auto`` (default) — ``grid`` at or above
+  :data:`repro.phy.spatial.GRID_AUTO_NODES` nodes, else ``allpairs``.
+
+The backends are decision-equivalent by construction *and by test*: same
+neighbour sets in the same (ascending node id) order, same ``d^2 <= range^2``
+comparisons from the same IEEE arithmetic — so simulation metrics are
+bit-identical whichever index runs underneath (pinned by
+``tests/phy/test_spatial_equivalence.py`` and the golden cross-backend test).
+
+Hot-path decisions, all determinism-preserving:
 
 * **Batched positions.**  The per-quantum refresh samples every node through
   :meth:`repro.mobility.base.MobilityModel.positions` — one vectorized call
   instead of a per-node Python loop.
 * **Squared distances.**  Range checks compare ``d^2 <= range^2``; the
   ``sqrt`` only happens when a caller asks for an actual metric distance
-  (the probabilistic edge-loss model, once per receivable frame).
+  (the probabilistic edge-loss model — see :meth:`distances`, which batches
+  it to one vectorized call per sender).
 * **Lazy neighbour lists.**  Python neighbour lists (and the receive *set*
   the channel consults) are built per node on first use within a quantum.
   Most nodes are silent in any 50 ms quantum, so eagerly rebuilding 2 x n
-  lists per tick wastes the bulk of the refresh; the boolean masks are kept
-  and the lists materialise on demand.
+  lists per tick wastes the bulk of the refresh; the index masks/buckets are
+  kept and the lists materialise on demand.
 
 At the paper's 20 m/s top speed a node moves 1 m per default 50 ms quantum
 — 0.4 % of the 250 m radio range — so quantisation error is negligible; the
@@ -27,12 +45,15 @@ tests include an exact-versus-cached comparison.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List, Optional
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.mobility.base import MobilityModel
 from repro.phy.propagation import DiskPropagation
+from repro.phy.spatial import GRID_AUTO_NODES, AllPairsIndex, UniformGridIndex
+
+INDEX_CHOICES = ("auto", "allpairs", "grid")
 
 
 class NeighborCache:
@@ -43,9 +64,14 @@ class NeighborCache:
         mobility: MobilityModel,
         propagation: DiskPropagation,
         quantum: float = 0.05,
+        index: str = "auto",
     ):
         if quantum <= 0:
             raise ValueError("quantum must be positive")
+        if index not in INDEX_CHOICES:
+            raise ValueError(
+                f"unknown neighbor index {index!r} (choose from {INDEX_CHOICES})"
+            )
         self._mobility = mobility
         self._propagation = propagation
         self.quantum = quantum
@@ -58,16 +84,26 @@ class NeighborCache:
         self._cs_sq = propagation.cs_range**2
         self._tick = -1
         n = len(self._node_ids)
-        self._positions = np.zeros((n, 2))
-        self._sq_distances = np.zeros((n, n))
-        self._rx_mask = np.zeros((n, n), dtype=bool)
-        self._cs_mask = np.zeros((n, n), dtype=bool)
+        if index == "auto":
+            index = "grid" if n >= GRID_AUTO_NODES else "allpairs"
+        #: The resolved backend name: ``"allpairs"`` or ``"grid"``.
+        self.index = index
+        self._backend: Union[AllPairsIndex, UniformGridIndex]
+        if index == "grid":
+            self._backend = UniformGridIndex(
+                rx_sq=self._rx_sq,
+                cs_sq=self._cs_sq,
+                reach=propagation.cs_range,
+                speed_bound=mobility.speed_bound(),
+                rebucket_horizon_s=max(quantum, 1.0),
+            )
+        else:
+            self._backend = AllPairsIndex(n, self._rx_sq, self._cs_sq)
         # Per-quantum lazy memos, keyed by row index; cleared on refresh.
+        self._rows: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
         self._rx_lists: Dict[int, List[int]] = {}
         self._cs_lists: Dict[int, List[int]] = {}
         self._rx_sets: Dict[int, FrozenSet[int]] = {}
-        self._components: Optional[List[int]] = None  # lazy, per quantum
-        self._components_tick = -1
 
     def _refresh(self, t: float) -> None:
         tick = int(t / self.quantum)
@@ -75,20 +111,20 @@ class NeighborCache:
             return
         self._tick = tick
         sample_time = tick * self.quantum
-        positions = self._mobility.positions(sample_time)
-        self._positions = positions
-        deltas = positions[:, None, :] - positions[None, :, :]
-        sq = np.einsum("ijk,ijk->ij", deltas, deltas)
-        self._sq_distances = sq
-        rx = sq <= self._rx_sq
-        cs = sq <= self._cs_sq
-        np.fill_diagonal(rx, False)
-        np.fill_diagonal(cs, False)
-        self._rx_mask = rx
-        self._cs_mask = cs
+        self._backend.refresh(self._mobility.positions(sample_time), sample_time)
+        self._rows.clear()
         self._rx_lists.clear()
         self._cs_lists.clear()
         self._rx_sets.clear()
+
+    def _node_rows(self, i: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(rx_rows, cs_rows)`` for row ``i``, memoised within a quantum
+        (one backend query yields both radii)."""
+        found = self._rows.get(i)
+        if found is None:
+            found = self._backend.neighbor_rows(i)
+            self._rows[i] = found
+        return found
 
     def tick(self, t: float) -> int:
         """Refresh for time ``t`` and return the quantum index.
@@ -106,7 +142,7 @@ class NeighborCache:
         i = self._index[node_id]
         found = self._rx_lists.get(i)
         if found is None:
-            found = self._ids_array[self._rx_mask[i]].tolist()
+            found = self._ids_array[self._node_rows(i)[0]].tolist()
             self._rx_lists[i] = found
         return found
 
@@ -116,7 +152,7 @@ class NeighborCache:
         i = self._index[node_id]
         found = self._cs_lists.get(i)
         if found is None:
-            found = self._ids_array[self._cs_mask[i]].tolist()
+            found = self._ids_array[self._node_rows(i)[1]].tolist()
             self._cs_lists[i] = found
         return found
 
@@ -141,64 +177,56 @@ class NeighborCache:
             return True
         self._refresh(t)
         return bool(
-            self._sq_distances[self._index[a], self._index[b]] <= self._rx_sq
+            self._backend.sq_dist(self._index[a], self._index[b]) <= self._rx_sq
         )
 
     def distance(self, a: int, b: int, t: float) -> float:
         self._refresh(t)
         return float(
-            np.sqrt(self._sq_distances[self._index[a], self._index[b]])
+            np.sqrt(self._backend.sq_dist(self._index[a], self._index[b]))
         )
+
+    def distances(self, a: int, others: Sequence[int], t: float) -> np.ndarray:
+        """Metric distances from ``a`` to each node in ``others`` at ``t``.
+
+        One vectorized ``sqrt`` for the whole batch — the lossy channel asks
+        this once per sender per quantum instead of once per receiver per
+        frame.  Element order follows ``others``; ``np.sqrt`` is correctly
+        rounded, so each element is bit-identical to the scalar
+        :meth:`distance` result.
+        """
+        self._refresh(t)
+        if not len(others):
+            return np.zeros(0)
+        i = self._index[a]
+        rows = np.array([self._index[o] for o in others], dtype=np.intp)
+        return np.sqrt(self._backend.sq_dists(i, rows))
 
     def reachable(self, a: int, b: int, t: float) -> bool:
         """Ground truth: does *any* multi-hop path exist between a and b?
 
         Used by the reachability-aware delivery metric to separate
         protocol-caused losses from topological partition.  Connected
-        components are computed lazily, at most once per quantum.
+        components are computed lazily, at most once per quantum, by
+        vectorized min-label propagation (:mod:`repro.phy.spatial`).
         """
         if a == b:
             return True
         self._refresh(t)
-        if self._components_tick != self._tick:
-            self._compute_components()
-        return (
-            self._components[self._index[a]] == self._components[self._index[b]]
-        )
-
-    def _compute_components(self) -> None:
-        n = len(self._node_ids)
-        rx = self._rx_mask
-        labels = [-1] * n
-        label = 0
-        for start in range(n):
-            if labels[start] >= 0:
-                continue
-            stack = [start]
-            labels[start] = label
-            while stack:
-                node = stack.pop()
-                for neighbor in np.flatnonzero(rx[node]):
-                    if labels[neighbor] < 0:
-                        labels[neighbor] = label
-                        stack.append(neighbor)
-            label += 1
-        self._components = labels
-        self._components_tick = self._tick
+        labels = self._backend.component_labels()
+        return bool(labels[self._index[a]] == labels[self._index[b]])
 
     def route_valid(self, route: List[int], t: float) -> bool:
         """Ground-truth check: does every consecutive hop lie in range?
 
         This is the oracle behind the paper's cache-correctness metrics
         ("% good replies", "% invalid cached routes").  One refresh and one
-        fancy-indexed comparison — not a :meth:`connected` (and thus
+        vectorized per-hop comparison — not a :meth:`connected` (and thus
         potentially a refresh) per hop.
         """
         if len(route) < 2:
             return True
         self._refresh(t)
         index = self._index
-        rows = [index[n] for n in route]
-        return bool(
-            (self._sq_distances[rows[:-1], rows[1:]] <= self._rx_sq).all()
-        )
+        rows = np.array([index[n] for n in route], dtype=np.intp)
+        return bool((self._backend.hop_sq_dists(rows) <= self._rx_sq).all())

@@ -141,7 +141,12 @@ def build_simulation(config: ScenarioConfig) -> SimulationHandle:
 
     mobility = _make_mobility(config, streams)
     propagation = DiskPropagation(rx_range=config.rx_range, cs_range=config.cs_range)
-    neighbors = NeighborCache(mobility, propagation, quantum=config.neighbor_quantum)
+    neighbors = NeighborCache(
+        mobility,
+        propagation,
+        quantum=config.neighbor_quantum,
+        index=config.neighbor_index,
+    )
     loss_model = None
     if config.grey_zone_fraction > 0.0:
         loss_model = EdgeLossModel(

@@ -43,6 +43,11 @@ class ScenarioConfig:
     cs_range: float = 550.0
     grey_zone_fraction: float = 0.0  # 0 = pure disk; 0.2 = lossy outer 20 %
     neighbor_quantum: float = 0.05
+    # Spatial index behind the neighbour cache: "auto" picks the uniform-grid
+    # cell list at >= repro.phy.spatial.GRID_AUTO_NODES nodes, the all-pairs
+    # matrix below it.  Backends are metrics-bit-identical; the knob exists
+    # for benchmarking and for forcing either path at any scale.
+    neighbor_index: str = "auto"  # "auto" | "allpairs" | "grid"
     ifq_capacity: int = 50
     track_energy: bool = False  # per-node radio energy accounting
     track_reachability: bool = False  # classify sends by topological reachability
@@ -70,6 +75,11 @@ class ScenarioConfig:
             raise ConfigurationError(f"unknown protocol {self.protocol!r}")
         if not 0.0 <= self.grey_zone_fraction < 1.0:
             raise ConfigurationError("grey_zone_fraction must be in [0, 1)")
+        if self.neighbor_index not in ("auto", "allpairs", "grid"):
+            raise ConfigurationError(
+                f"unknown neighbor_index {self.neighbor_index!r} "
+                "(choose auto, allpairs or grid)"
+            )
         if self.mobility_model not in ("waypoint", "gauss_markov", "rpgm"):
             raise ConfigurationError(
                 f"unknown mobility model {self.mobility_model!r}"

@@ -109,6 +109,7 @@ def _field_perturbations():
         "cs_range": 551.0,
         "grey_zone_fraction": 0.2,
         "neighbor_quantum": 0.06,
+        "neighbor_index": "grid",
         "ifq_capacity": 51,
         "track_energy": True,
         "track_reachability": True,

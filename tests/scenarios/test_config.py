@@ -44,3 +44,13 @@ def test_but_creates_modified_copy():
 def test_validation(kwargs):
     with pytest.raises(ConfigurationError):
         ScenarioConfig(**kwargs)
+
+
+def test_neighbor_index_accepts_known_backends():
+    for index in ("auto", "allpairs", "grid"):
+        assert ScenarioConfig(neighbor_index=index).neighbor_index == index
+
+
+def test_neighbor_index_rejects_unknown_backend():
+    with pytest.raises(ConfigurationError):
+        ScenarioConfig(neighbor_index="kd-tree")

@@ -70,3 +70,15 @@ def test_loaded_scenario_runs_identically():
     )
     rebuilt = scenario_from_dict(scenario_to_dict(config))
     assert run_scenario(config) == run_scenario(rebuilt)
+
+
+def test_neighbor_index_flows_through_the_cache_key():
+    """The index knob must reach the canonical encoding (CACHE001): two
+    configs differing only in it must round-trip and encode differently."""
+    from repro.scenarios.io import scenario_canonical_json
+
+    auto = _config()
+    grid = auto.but(neighbor_index="grid")
+    assert scenario_from_dict(scenario_to_dict(grid)).neighbor_index == "grid"
+    assert '"neighbor_index":"grid"' in scenario_canonical_json(grid)
+    assert scenario_canonical_json(auto) != scenario_canonical_json(grid)
