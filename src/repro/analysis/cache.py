@@ -26,8 +26,15 @@ worker can never leave a half-written entry that later loads.
 
 The store is garbage-collected rather than unbounded: :meth:`ResultCache.prune`
 evicts least-recently-used entries past a byte budget and/or an age limit.
-``get()`` refreshes an entry's mtime on every hit, so "recently used" means
-recently *read*, not recently written.
+``get()`` refreshes an entry's mtime *before* reading it, and ``prune()``
+re-checks each candidate's mtime immediately before unlinking, so an entry
+that is being read concurrently is never LRU-evicted mid-fetch.
+
+A cache can also have a *remote tier* (:class:`TieredResultCache` over
+:class:`HTTPCacheTier`): entries are fetched from and written through to a
+coordinator's ``/v1/cache/<key>`` endpoint, so a result computed by any
+worker in a fleet is a hit for every other worker.  Remote failures are
+soft — a flaky coordinator degrades a worker to local-only, never breaks it.
 """
 
 from __future__ import annotations
@@ -40,6 +47,8 @@ import os
 import re
 import threading
 import time
+import urllib.error
+import urllib.request
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
@@ -53,6 +62,11 @@ PathLike = Union[str, Path]
 #: Bump when the result record or simulation semantics change in a way that
 #: makes previously cached results wrong to reuse.
 CACHE_FORMAT_VERSION = 1
+
+#: A temp file must be at least this old before :meth:`ResultCache.prune`
+#: sweeps it: a live writer holds its temp file for milliseconds, so only
+#: crashed-writer leftovers ever reach this age.
+TMP_SWEEP_AGE_S = 300.0
 
 
 def scenario_hash(config: Union[ScenarioConfig, Dict[str, Any]]) -> str:
@@ -76,6 +90,41 @@ def result_from_payload(payload: Dict[str, Any]) -> SimulationResult:
     """Inverse of :func:`result_to_payload` (unknown keys are rejected by
     the dataclass constructor, which is exactly what invalidation wants)."""
     return SimulationResult(**payload)
+
+
+def make_entry(key: str, result: SimulationResult) -> Dict[str, Any]:
+    """The on-disk/over-the-wire cache document for one result."""
+    return {
+        "format_version": CACHE_FORMAT_VERSION,
+        "scenario_hash": key,
+        "result": result_to_payload(result),
+    }
+
+
+def validate_entry(key: str, entry: Any) -> Dict[str, Any]:
+    """Check a cache document against the current format; returns it.
+
+    Raises :class:`ValueError` on anything a conforming store must not
+    serve: wrong format version, a key/hash mismatch (content addressing
+    is the integrity model), or a result payload that no longer rebuilds.
+    """
+    if not isinstance(entry, dict):
+        raise ValueError(f"cache entry for {key[:12]}… is not an object")
+    if entry.get("format_version") != CACHE_FORMAT_VERSION:
+        raise ValueError(
+            f"cache entry format version {entry.get('format_version')!r} "
+            f"!= {CACHE_FORMAT_VERSION}"
+        )
+    if entry.get("scenario_hash") != key:
+        raise ValueError(
+            f"cache entry hash {str(entry.get('scenario_hash'))[:12]}… "
+            f"does not match key {key[:12]}…"
+        )
+    try:
+        result_from_payload(dict(entry.get("result") or {}))
+    except Exception as exc:
+        raise ValueError(f"cache entry result does not rebuild: {exc}") from exc
+    return entry
 
 
 @dataclass
@@ -113,12 +162,24 @@ class ResultCache:
         Unreadable or foreign-version entries are deleted and counted under
         ``stats.invalidated`` in addition to the miss.
         """
+        entry = self.get_entry(key)
+        if entry is None:
+            return None
+        return result_from_payload(entry["result"])
+
+    def get_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """The raw stored document for ``key`` (validated), or ``None``.
+
+        This is the remote-tier transport shape: the coordinator's
+        ``GET /v1/cache/<key>`` serves exactly this document.  The mtime
+        is refreshed *before* the read so a concurrent :meth:`prune` —
+        which re-checks mtimes right before unlinking — never evicts an
+        entry that is mid-fetch.
+        """
         path = self._path(key)
+        self._touch(path)
         try:
-            entry = json.loads(path.read_text())
-            if entry.get("format_version") != CACHE_FORMAT_VERSION:
-                raise ValueError(f"format version {entry.get('format_version')}")
-            result = result_from_payload(entry["result"])
+            entry = validate_entry(key, json.loads(path.read_text()))
         except FileNotFoundError:
             self.stats.misses += 1
             return None
@@ -128,8 +189,7 @@ class ResultCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        self._touch(path)
-        return result
+        return entry
 
     @staticmethod
     def _touch(path: Path) -> None:
@@ -141,13 +201,20 @@ class ResultCache:
 
     def put(self, key: str, result: SimulationResult) -> Path:
         """Persist ``result`` under ``key`` (atomic: temp file + rename)."""
+        return self._write_entry(key, make_entry(key, result))
+
+    def put_entry(self, key: str, entry: Dict[str, Any]) -> Path:
+        """Store a raw cache document (the remote-tier write path).
+
+        The document is validated first (:func:`validate_entry`) so a
+        remote peer can never plant an entry this store would refuse to
+        produce itself; raises :class:`ValueError` on a bad document.
+        """
+        return self._write_entry(key, validate_entry(key, entry))
+
+    def _write_entry(self, key: str, entry: Dict[str, Any]) -> Path:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
-        entry = {
-            "format_version": CACHE_FORMAT_VERSION,
-            "scenario_hash": key,
-            "result": result_to_payload(result),
-        }
         tmp = path.with_suffix(
             f".tmp.{os.getpid()}.{threading.get_ident()}.{next(_tmp_seq)}"
         )
@@ -189,6 +256,14 @@ class ResultCache:
         if now is None:
             now = time.time()  # repro-lint: disable=DET001
         for tmp in self.root.glob("*/*.tmp.*"):
+            # Sweep only *stale* temp files: a concurrent put() is holding
+            # its temp file right now, and unlinking it between write and
+            # rename would crash that writer.
+            try:
+                if now - tmp.stat().st_mtime < TMP_SWEEP_AGE_S:
+                    continue
+            except OSError:
+                continue  # renamed or removed by its writer already
             tmp.unlink(missing_ok=True)
         entries: List[Tuple[float, int, Path]] = []
         for path in self.root.glob("*/*.json"):
@@ -200,8 +275,15 @@ class ResultCache:
         report = PruneReport(scanned=len(entries))
         kept_bytes = sum(size for _, size, _ in entries)
 
-        def evict(size: int, path: Path, why: str) -> None:
+        def evict(mtime: float, size: int, path: Path, why: str) -> None:
             nonlocal kept_bytes
+            # Re-check right before unlinking: get() refreshes an entry's
+            # mtime *before* reading it, so an mtime newer than the scan
+            # means a reader claimed the entry after we judged it LRU —
+            # evicting now would yank a result out from under a fetch.
+            if not self._unchanged_since(path, mtime):
+                report.spared += 1
+                return
             path.unlink(missing_ok=True)
             kept_bytes -= size
             report.removed += 1
@@ -214,18 +296,27 @@ class ResultCache:
         survivors: List[Tuple[float, int, Path]] = []
         for mtime, size, path in entries:
             if max_age_s is not None and now - mtime > max_age_s:
-                evict(size, path, "age")
+                evict(mtime, size, path, "age")
             else:
                 survivors.append((mtime, size, path))
         if max_bytes is not None and kept_bytes > max_bytes:
             survivors.sort()  # oldest mtime first = least recently used
-            for _mtime, size, path in survivors:
+            for mtime, size, path in survivors:
                 if kept_bytes <= max_bytes:
                     break
-                evict(size, path, "size")
+                evict(mtime, size, path, "size")
         report.kept = report.scanned - report.removed
         report.kept_bytes = kept_bytes
         return report
+
+    @staticmethod
+    def _unchanged_since(path: Path, mtime: float) -> bool:
+        """True when ``path`` still carries the mtime a prune scan saw —
+        i.e. no concurrent :meth:`get` refreshed it in the meantime."""
+        try:
+            return path.stat().st_mtime == mtime
+        except OSError:
+            return False  # vanished underneath us; nothing left to evict
 
 
 @dataclass
@@ -239,6 +330,9 @@ class PruneReport:
     removed_by_size: int = 0
     kept: int = 0
     kept_bytes: int = 0
+    #: Eviction candidates spared because a concurrent ``get()`` refreshed
+    #: their mtime between the scan and the unlink (or they vanished).
+    spared: int = 0
 
     def as_dict(self) -> Dict[str, int]:
         return dataclasses.asdict(self)
@@ -250,6 +344,114 @@ class PruneReport:
             f"{self.removed_by_size} by size), kept {self.kept} "
             f"({self.kept_bytes} B)"
         )
+
+
+# -- remote tier -------------------------------------------------------------
+
+
+@dataclass
+class RemoteCacheStats:
+    """Hit/miss/store/error accounting for one remote cache tier."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    errors: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class HTTPCacheTier:
+    """A remote result-cache tier over a coordinator's ``/v1/cache`` API.
+
+    Transport only: entries travel as the same validated JSON documents
+    the on-disk store keeps.  Every failure mode is soft — an unreachable
+    or misbehaving coordinator turns ``get_entry`` into a miss and
+    ``put_entry`` into a no-op (both counted in ``stats``), so a worker
+    degrades to its local tier instead of breaking.
+    """
+
+    def __init__(self, base_url: str, timeout: float = 10.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.stats = RemoteCacheStats()
+
+    def _url(self, key: str) -> str:
+        return f"{self.base_url}/v1/cache/{key}"
+
+    def get_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """Fetch and validate one entry; ``None`` on miss or any failure."""
+        request = urllib.request.Request(self._url(key))
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                entry = validate_entry(key, json.loads(response.read().decode("utf-8")))
+        except urllib.error.HTTPError as exc:
+            exc.close()
+            if exc.code == 404:
+                self.stats.misses += 1
+            else:
+                self.stats.errors += 1
+            return None
+        except Exception:
+            self.stats.errors += 1
+            return None
+        self.stats.hits += 1
+        return entry
+
+    def put_entry(self, key: str, entry: Dict[str, Any]) -> bool:
+        """Push one entry; ``False`` (never an exception) on failure."""
+        data = json.dumps(entry, sort_keys=True).encode("utf-8")
+        request = urllib.request.Request(
+            self._url(key),
+            data=data,
+            headers={"Content-Type": "application/json"},
+            method="PUT",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout):
+                pass
+        except Exception:
+            self.stats.errors += 1
+            return False
+        self.stats.stores += 1
+        return True
+
+
+class TieredResultCache(ResultCache):
+    """A local :class:`ResultCache` backed by a remote tier.
+
+    ``get`` resolves local-first; a remote hit is written through to the
+    local tier so it is disk-fast next time.  ``put`` lands locally and is
+    pushed to the remote tier best-effort.  With every fleet worker's
+    remote tier pointing at one coordinator, a scenario computed (or
+    cached) anywhere is a hit everywhere — the fleet-wide extension of the
+    single-process in-flight dedup.
+    """
+
+    def __init__(self, root: PathLike, remote: HTTPCacheTier) -> None:
+        super().__init__(root)
+        self.remote = remote
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        result = super().get(key)
+        if result is not None:
+            return result
+        entry = self.remote.get_entry(key)
+        if entry is None:
+            return None
+        try:
+            self.put_entry(key, entry)  # write through: disk-fast next time
+            result = result_from_payload(entry["result"])
+        except Exception:
+            return None  # tier disagreement is a miss, never a crash
+        self.stats.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> Path:
+        path = super().put(key, result)
+        self.remote.put_entry(key, make_entry(key, result))
+        return path
 
 
 _PRUNE_SIZE_UNITS: Dict[str, int] = {

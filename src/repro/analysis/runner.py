@@ -89,17 +89,23 @@ def _guarded_batch(
     return [_guarded(task_fn, task) for task in batch]
 
 
-def _grid_point_key(payload: dict) -> str:
+def grid_point_key(payload: dict) -> str:
     """Canonical identity of a payload's sweep grid point (seed excluded).
 
     Replications of one grid point differ only in ``payload["seed"]``;
     batching groups by everything else so a batch is "the same scenario, N
-    seeds" — the unit the paper's mean-and-CI aggregation consumes.
+    seeds" — the unit the paper's mean-and-CI aggregation consumes.  Shard
+    packing (:mod:`repro.service.leases`) groups by the same identity so a
+    shard is whole seed batches of whole grid points.
     """
     from repro.scenarios.io import scenario_canonical_json
 
     reduced = {name: value for name, value in payload.items() if name != "seed"}
     return scenario_canonical_json(reduced)
+
+
+#: Backwards-compatible alias for the former private name.
+_grid_point_key = grid_point_key
 
 
 def estimate_cost(payload: dict) -> float:
@@ -436,7 +442,7 @@ class SweepEngine:
         groups: Dict[str, List[Tuple[str, dict]]] = {}
         group_order: List[str] = []
         for task in tasks:
-            point = _grid_point_key(task[1])
+            point = grid_point_key(task[1])
             if point not in groups:
                 groups[point] = []
                 group_order.append(point)

@@ -184,7 +184,15 @@ class UniformGridIndex:
         self._rx_sq = rx_sq
         self._cs_sq = cs_sq
         self._max_drift = speed_bound * rebucket_horizon_s
-        self._cell = reach + 2.0 * self._max_drift
+        # A hair of relative slack on the cell edge: queries compare the
+        # *rounded* squared distance against the decision radius, so a pair
+        # that is infinitesimally farther apart than ``reach`` in exact
+        # arithmetic can still compare as in range (e.g. coordinates 1.0
+        # and -5.6e-134 with reach 1.0: the true gap exceeds 1.0, but the
+        # float64 difference rounds to exactly 1.0).  Widening the edge by
+        # ~4500 ulps keeps every such pair inside the 3x3 block; bucket
+        # occupancy is unchanged for any realistic layout.
+        self._cell = (reach + 2.0 * self._max_drift) * (1.0 + 1e-12)
         self._speed_bound = speed_bound
         self._positions = np.zeros((0, 2))
         self._bucket_time = 0.0

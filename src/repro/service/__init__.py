@@ -10,10 +10,16 @@ telemetry through :mod:`repro.obs.instruments`.
 Layers:
 
 - :mod:`repro.service.core` — :class:`SimulationService`: queue, workers,
-  admission control, in-flight dedup, journal, drain.
+  admission control, in-flight dedup, journal, drain; in distributed mode
+  a coordinator over :mod:`repro.service.leases`.
+- :mod:`repro.service.leases` — :class:`ShardBoard`: shard packing,
+  pull-based leases, expiry/requeue, fleet-wide dedup.
 - :mod:`repro.service.http` — :class:`ServiceHTTPServer`: the JSON API.
-- :mod:`repro.service.client` — :class:`ServiceClient`: typed stdlib client.
-- :mod:`repro.service.cli` — ``repro-serve`` and ``repro-submit``.
+- :mod:`repro.service.client` — :class:`ServiceClient`: typed stdlib client
+  with bounded retry on transient connection errors.
+- :mod:`repro.service.worker` — :class:`ShardWorker`: the remote executor.
+- :mod:`repro.service.cli` — ``repro-serve``, ``repro-submit``; the worker
+  CLI lives in :mod:`repro.service.worker` (``repro-worker``).
 """
 
 from repro.service.client import (
@@ -21,17 +27,21 @@ from repro.service.client import (
     QueueFullError,
     ServiceClient,
     ServiceError,
+    TransientServiceError,
 )
 from repro.service.core import (
     JobNotCancellableError,
     JobNotFoundError,
     JobNotReadyError,
+    NotDistributedError,
     ServiceDrainingError,
     SimulationService,
 )
 from repro.service.http import ServiceHTTPServer
 from repro.service.jobs import Job, JobState
+from repro.service.leases import LeaseNotFoundError, ShardBoard
 from repro.service.queue import AdmissionError, AdmissionPolicy
+from repro.service.worker import ShardWorker
 
 __all__ = [
     "AdmissionError",
@@ -42,10 +52,15 @@ __all__ = [
     "JobNotFoundError",
     "JobNotReadyError",
     "JobState",
+    "LeaseNotFoundError",
+    "NotDistributedError",
     "QueueFullError",
     "ServiceClient",
     "ServiceDrainingError",
     "ServiceError",
     "ServiceHTTPServer",
+    "ShardBoard",
+    "ShardWorker",
     "SimulationService",
+    "TransientServiceError",
 ]

@@ -16,8 +16,14 @@
     repro-submit health
     repro-submit metrics
 
-Both are also reachable without installation:
-``python -m repro.service.cli serve ...`` / ``... submit ...``.
+``repro-worker`` (see :mod:`repro.service.worker`) joins a
+``--distributed`` coordinator's fleet::
+
+    repro-serve --distributed --cache-dir cache --journal j.jsonl
+    repro-worker --url http://127.0.0.1:8642 --processes 2
+
+All three are also reachable without installation:
+``python -m repro.service.cli {serve|submit|worker} ...``.
 """
 # repro-lint: disable-file=DET001 -- CLI-level timing (drain grace,
 # wait timeouts) is operator-facing; no simulation state here.
@@ -112,6 +118,35 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "SIGTERM/SIGINT before being checkpointed (default: 30)",
     )
     parser.add_argument(
+        "--distributed",
+        action="store_true",
+        help="coordinator mode: jobs are sharded onto pull-based "
+        "repro-worker fleets instead of local threads (needs --cache-dir)",
+    )
+    parser.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="with --distributed: how long a silent worker holds a shard "
+        "before it is requeued (default: 10)",
+    )
+    parser.add_argument(
+        "--shard-size",
+        type=int,
+        default=4,
+        metavar="N",
+        help="with --distributed: max scenarios per shard (default: 4)",
+    )
+    parser.add_argument(
+        "--seed-batch",
+        type=int,
+        default=1,
+        metavar="N",
+        help="with --distributed: seed-batch grouping workers apply "
+        "within a shard (default: 1)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
@@ -122,6 +157,14 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     from repro.service.core import SimulationService
     from repro.service.http import ServiceHTTPServer
 
+    shards_done_before = 0
+    if args.distributed and args.journal:
+        # Before construction: the service compacts the journal (dropping
+        # lease records), so the shard history must be read first.
+        from repro.service.journal import replay_shards
+
+        history = replay_shards(args.journal)
+        shards_done_before = sum(len(entry.done) for entry in history.values())
     service = SimulationService(
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -130,11 +173,21 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
         max_inflight_per_client=args.max_inflight,
         processes=args.processes,
         retries=args.retries,
+        distributed=args.distributed,
+        lease_ttl_s=args.lease_ttl,
+        shard_size=args.shard_size,
+        seed_batch=args.seed_batch,
     )
     recovered = [job for job in service.jobs() if job.recovered]
     if recovered:
         print(
             f"recovered {len(recovered)} unfinished job(s) from the journal",
+            file=sys.stderr,
+        )
+    if shards_done_before:
+        print(
+            f"{shards_done_before} shard(s) were delivered before the "
+            "restart; their results resolve from the cache",
             file=sys.stderr,
         )
     httpd = ServiceHTTPServer((args.host, args.port), service, verbose=args.verbose)
@@ -419,16 +472,20 @@ def _progress_line(status: Dict[str, Any]) -> None:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """``python -m repro.service.cli {serve|submit} ...`` dispatcher."""
+    """``python -m repro.service.cli {serve|submit|worker} ...`` dispatcher."""
     argv = list(sys.argv[1:] if argv is None else argv)
-    if not argv or argv[0] not in ("serve", "submit"):
+    if not argv or argv[0] not in ("serve", "submit", "worker"):
         print(
-            "usage: python -m repro.service.cli {serve|submit} [options]",
+            "usage: python -m repro.service.cli {serve|submit|worker} [options]",
             file=sys.stderr,
         )
         return 2
     if argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv[0] == "worker":
+        from repro.service.worker import main as worker_main
+
+        return worker_main(argv[1:])
     return submit_main(argv[1:])
 
 

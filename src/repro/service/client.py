@@ -11,19 +11,28 @@ through the same codec the result cache uses — so a fetched result is
     job_id = client.submit([config.but(seed=s) for s in (1, 2, 3)])
     status = client.wait(job_id, timeout=600)
     results = client.results(job_id)
+
+Transient connection failures (refused, reset, timed out — a coordinator
+mid-restart) are retried with bounded exponential backoff for idempotent
+requests.  GET/PUT/DELETE retry by default; the lease verbs opt in
+explicitly because the server makes them safe to repeat (claims hand out
+fresh leases, heartbeats re-extend, completes are first-delivery-wins).
+A non-idempotent POST (job submission) is never retried — the caller
+decides whether a duplicate job is acceptable.
 """
-# repro-lint: disable-file=DET001 -- poll deadlines are wall-clock by
-# nature; the client never touches simulation state.
+# repro-lint: disable-file=DET001 -- poll deadlines and retry backoff are
+# wall-clock by nature; the client never touches simulation state.
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
 
-from repro.analysis.cache import result_from_payload
+from repro.analysis.cache import result_from_payload, result_to_payload
 from repro.errors import ReproError
 from repro.metrics.collector import SimulationResult
 from repro.scenarios.config import ScenarioConfig
@@ -38,6 +47,10 @@ class ServiceError(ReproError):
     def __init__(self, message: str, status: Optional[int] = None) -> None:
         super().__init__(message)
         self.status = status
+
+
+class TransientServiceError(ServiceError):
+    """A connection-level failure (refused/reset/timeout): retryable."""
 
 
 class QueueFullError(ServiceError):
@@ -64,14 +77,48 @@ class ServiceClient:
         base_url: str,
         client_id: str = "default",
         timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.1,
+        backoff_max_s: float = 2.0,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.client_id = client_id
         self.timeout = timeout
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self.backoff_max_s = backoff_max_s
 
     # -- HTTP plumbing -------------------------------------------------------
 
     def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, Any]] = None,
+        ok_statuses: Sequence[int] = (200, 202),
+        idempotent: Optional[bool] = None,
+    ) -> Dict[str, Any]:
+        """One API call, with bounded retry on transient connection errors.
+
+        ``idempotent`` defaults by method (GET/PUT/DELETE yes, POST no);
+        lease verbs pass ``True`` explicitly — see the module docstring.
+        """
+        if idempotent is None:
+            idempotent = method in ("GET", "PUT", "DELETE")
+        attempts = (self.retries if idempotent else 0) + 1
+        for attempt in range(attempts):
+            if attempt:
+                time.sleep(
+                    min(self.backoff_max_s, self.backoff_s * 2 ** (attempt - 1))
+                )
+            try:
+                return self._request_once(method, path, body, ok_statuses)
+            except TransientServiceError:
+                if attempt + 1 >= attempts:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -102,8 +149,18 @@ class ServiceClient:
             raise ServiceError(
                 payload.get("error") or f"HTTP {status}", status
             ) from None
-        except urllib.error.URLError as exc:
-            raise ServiceError(f"cannot reach {self.base_url}: {exc.reason}") from None
+        except (
+            urllib.error.URLError,
+            ConnectionError,
+            TimeoutError,
+            http.client.HTTPException,
+        ) as exc:
+            # Connection refused/reset/timed out, or the server vanished
+            # mid-response (RemoteDisconnected): retryable when idempotent.
+            reason = getattr(exc, "reason", exc)
+            raise TransientServiceError(
+                f"cannot reach {self.base_url}: {reason}"
+            ) from None
         if status not in ok_statuses:
             raise ServiceError(payload.get("error") or f"HTTP {status}", status)
         payload["_status"] = status
@@ -214,6 +271,63 @@ class ServiceClient:
                 return response.read().decode("utf-8")
         except urllib.error.URLError as exc:
             raise ServiceError(f"cannot reach {self.base_url}: {exc}") from None
+
+    # -- the lease protocol (distributed workers) ----------------------------
+
+    def claim(self, worker: str) -> Optional[Dict[str, Any]]:
+        """Pull the next shard claim; ``None`` when the queue is idle."""
+        response = self._request(
+            "POST", "/v1/leases/claim", {"worker": worker}, idempotent=True
+        )
+        lease = response.get("lease")
+        return lease if isinstance(lease, dict) else None
+
+    def lease_heartbeat(self, lease_id: str) -> Dict[str, Any]:
+        """Renew a held lease; 404 (``ServiceError``) once it lapsed."""
+        return self._request(
+            "POST", f"/v1/leases/{lease_id}/heartbeat", {}, idempotent=True
+        )
+
+    def complete(
+        self,
+        lease_id: str,
+        results: Dict[str, SimulationResult],
+        failures: Optional[Dict[str, str]] = None,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Deliver a shard's results (first delivery wins server-side)."""
+        body = {
+            "results": {
+                key: result_to_payload(result) for key, result in results.items()
+            },
+            "failures": dict(failures or {}),
+            "stats": dict(stats or {}),
+        }
+        return self._request(
+            "POST", f"/v1/leases/{lease_id}/complete", body, idempotent=True
+        )
+
+    def leases(self) -> Dict[str, Any]:
+        """Active leases + fleet counts (``{"leases": [...], "fleet": {...}}``)."""
+        response = self._request("GET", "/v1/leases")
+        response.pop("_status", None)
+        return response
+
+    # -- the remote cache tier ------------------------------------------------
+
+    def cache_get_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        """A raw cache entry by scenario hash; ``None`` on miss."""
+        try:
+            entry = self._request("GET", f"/v1/cache/{key}")
+        except ServiceError as exc:
+            if exc.status == 404:
+                return None
+            raise
+        entry.pop("_status", None)
+        return entry
+
+    def cache_put_entry(self, key: str, entry: Dict[str, Any]) -> None:
+        self._request("PUT", f"/v1/cache/{key}", dict(entry))
 
     def events(self, job_id: str) -> Iterator[Dict[str, Any]]:
         """Iterate the job's SSE stream as ``{"event": ..., "data": {...}}``

@@ -21,6 +21,13 @@ serving system:
 * **Graceful drain** — :meth:`drain` stops admission, lets running jobs
   finish within a grace period, checkpoints the ones that can't back to
   pending, and flushes the journal.
+* **Distributed mode** (``distributed=True``) — the service becomes a
+  *coordinator*: instead of executing jobs on local threads it packs each
+  job's grid into shards (:mod:`repro.service.leases`) that pull-based
+  remote workers claim, heartbeat and deliver over HTTP; a janitor thread
+  expires silent leases and requeues their shards, so a killed worker
+  never loses work.  The shared result cache doubles as the fleet's
+  remote tier (``/v1/cache/<key>``).
 
 Execution stays deterministic: the service adds scheduling, not
 semantics — a job's results are bit-identical to ``run_many`` over the
@@ -45,6 +52,7 @@ from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.io import scenario_from_dict, scenario_to_dict
 from repro.service.jobs import Job, JobState, new_job_id
 from repro.service.journal import JobJournal, replay
+from repro.service.leases import LeaseNotFoundError, ShardBoard
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import AdmissionError, AdmissionPolicy, JobQueue
 
@@ -54,6 +62,8 @@ __all__ = [
     "JobNotFoundError",
     "JobNotReadyError",
     "JobNotCancellableError",
+    "LeaseNotFoundError",
+    "NotDistributedError",
     "ServiceDrainingError",
 ]
 
@@ -84,6 +94,10 @@ class ServiceDrainingError(ReproError):
     """The service is draining and admits no new jobs."""
 
 
+class NotDistributedError(ReproError):
+    """A lease/cache endpoint was used against a non-distributed service."""
+
+
 class _Flight:
     """One in-flight scenario execution: owner publishes, followers wait."""
 
@@ -109,6 +123,10 @@ class SimulationService:
         retries: int = 1,
         task_fn: Optional[TaskFn] = None,
         registry: Optional[MetricsRegistry] = None,
+        distributed: bool = False,
+        lease_ttl_s: float = 10.0,
+        shard_size: int = 4,
+        seed_batch: int = 1,
     ) -> None:
         self.workers = max(1, workers)
         self.cache_dir = cache_dir
@@ -125,6 +143,19 @@ class SimulationService:
         self._draining = False
         self._stopped = False
         self.started_at = time.time()
+        self.distributed = distributed
+        self.lease_ttl_s = lease_ttl_s
+        # The shared cache instance: the coordinator's remote tier, the
+        # shard board's resolution source, and (non-distributed) a handle
+        # the /v1/cache endpoints serve even without distribution.
+        self.cache: Optional[ResultCache] = (
+            ResultCache(cache_dir) if cache_dir is not None else None
+        )
+        if distributed and self.cache is None:
+            raise ConfigurationError(
+                "distributed mode needs cache_dir: the result cache is how "
+                "shard results reach waiting jobs and restarted coordinators"
+            )
 
         self._journal: Optional[JobJournal] = None
         if journal_path is not None:
@@ -136,14 +167,36 @@ class SimulationService:
             self._journal.compact(
                 sorted(self._jobs.values(), key=lambda j: j.submitted_at)
             )
+
+        self._board: Optional[ShardBoard] = None
+        if distributed:
+            assert self.cache is not None  # checked above
+            self._board = ShardBoard(
+                cache=self.cache,
+                journal=self._journal,
+                shard_size=shard_size,
+                seed_batch=seed_batch,
+                lease_ttl_s=lease_ttl_s,
+            )
         self._refresh_gauges_locked()
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "SimulationService":
-        """Spawn the worker pool (idempotent)."""
+        """Spawn the worker pool — or, distributed, dispatcher + janitor
+        (idempotent)."""
         with self._lock:
             if self._threads or self._stopped:
+                return self
+            if self.distributed:
+                targets = [
+                    ("repro-service-dispatcher", self._dispatcher_loop),
+                    ("repro-service-janitor", self._janitor_loop),
+                ]
+                for name, target in targets:
+                    thread = threading.Thread(target=target, name=name, daemon=True)
+                    thread.start()
+                    self._threads.append(thread)
                 return self
             for index in range(self.workers):
                 thread = threading.Thread(
@@ -386,6 +439,133 @@ class SimulationService:
             else:
                 self._finish_done(job, results)
 
+    # -- distributed mode: coordinator side ----------------------------------
+
+    def _dispatcher_loop(self) -> None:
+        """Move admitted jobs from the priority queue onto the shard board."""
+        board = self._board
+        assert board is not None
+        while not self._stopped and not self._draining:
+            job = self._queue.pop(timeout=0.2)
+            if job is None:
+                continue
+            if self._draining or self._stopped:
+                self._queue.push(job)
+                break
+            with self._lock:
+                if job.state is not JobState.PENDING:
+                    continue  # cancelled while queued
+                job.state = JobState.RUNNING
+                job.started_at = time.time()
+                if self._journal is not None:
+                    self._journal.record_state(job)
+                self._refresh_gauges_locked()
+            job.touch()
+            try:
+                results = board.add_job(job)
+            except Exception as exc:  # job-level failure, never thread death
+                self._finish_failed(job, f"{type(exc).__name__}: {exc}")
+                continue
+            self.metrics.sims_cache_hits.inc(job.progress.cached)
+            if results is not None:
+                self._finish_done(job, results)
+
+    def _janitor_loop(self) -> None:
+        """Expire silent leases (requeueing their shards), refresh gauges."""
+        board = self._board
+        assert board is not None
+        tick = min(1.0, max(0.05, self.lease_ttl_s / 4.0))
+        while not self._stopped and not self._draining:
+            board.expire_leases(time.time())
+            self.sync_fleet_metrics()
+            time.sleep(tick)
+
+    def sync_fleet_metrics(self) -> None:
+        """Fold the shard board's current totals into the metric set."""
+        if self._board is not None:
+            self.metrics.sync_fleet(self._board.counts(time.time()))
+
+    def _require_board(self) -> ShardBoard:
+        if self._board is None:
+            raise NotDistributedError(
+                "this service is not running in distributed mode"
+            )
+        return self._board
+
+    def claim_shard(self, worker: str) -> Optional[Dict[str, Any]]:
+        """A worker's pull: the next shard as a claim doc, or ``None``."""
+        board = self._require_board()
+        if self._draining or self._stopped:
+            return None  # drain: the fleet sees an idle queue and backs off
+        lease = board.claim(worker, time.time())
+        if lease is None:
+            return None
+        return lease.claim_doc(board.seed_batch)
+
+    def lease_heartbeat(self, lease_id: str) -> Dict[str, Any]:
+        """Renew a lease; raises :class:`LeaseNotFoundError` if lapsed."""
+        board = self._require_board()
+        lease = board.heartbeat(lease_id, time.time())
+        return {"id": lease.id, "ttl_s": lease.ttl_s, "deadline": lease.deadline}
+
+    def complete_shard(
+        self,
+        lease_id: str,
+        results: Dict[str, SimulationResult],
+        failures: Optional[Dict[str, str]] = None,
+        stats: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """Deliver a shard; finishes every job the delivery settles."""
+        board = self._require_board()
+        executed = int((stats or {}).get("executed", 0))
+        outcome = board.complete(
+            lease_id, results, failures, now=time.time(), executed=executed
+        )
+        if outcome.accepted and executed:
+            self.metrics.sims_executed.inc(executed)
+        for job, job_results in outcome.finished:
+            self._finish_done(job, job_results)
+        for job, error in outcome.failed:
+            self._finish_failed(job, error)
+        self.sync_fleet_metrics()
+        return {
+            "accepted": outcome.accepted,
+            "late": outcome.late,
+            "finished_jobs": [job.id for job, _ in outcome.finished],
+            "failed_jobs": [job.id for job, _ in outcome.failed],
+        }
+
+    def leases(self) -> List[Dict[str, Any]]:
+        """Active leases (the ``GET /v1/leases`` listing)."""
+        return self._require_board().lease_docs(time.time())
+
+    def fleet_status(self) -> Dict[str, int]:
+        """Shard/lease/worker counts; also refreshes the fleet metrics."""
+        board = self._require_board()
+        counts = board.counts(time.time())
+        self.metrics.sync_fleet(counts)
+        return counts
+
+    # -- the remote cache tier (served whenever a cache exists) --------------
+
+    def cache_entry_get(self, key: str) -> Optional[Dict[str, Any]]:
+        """A raw cache entry by scenario hash, or ``None`` on miss."""
+        if self.cache is None:
+            raise NotDistributedError("this service has no result cache")
+        entry = self.cache.get_entry(key)
+        if entry is None:
+            self.metrics.cache_remote_misses.inc()
+        else:
+            self.metrics.cache_remote_hits.inc()
+        return entry
+
+    def cache_entry_put(self, key: str, entry: Dict[str, Any]) -> None:
+        """Store a worker-produced entry (validated; ValueError on junk)."""
+        if self.cache is None:
+            raise NotDistributedError("this service has no result cache")
+        self.cache.put_entry(key, entry)
+        self.metrics.cache_remote_stores.inc()
+
     def _execute(self, job: Job) -> List[SimulationResult]:
         keys = [scenario_hash(payload) for payload in job.scenarios]
         unique_keys = list(dict.fromkeys(keys))
@@ -393,7 +573,7 @@ class SimulationService:
             key: payload
             for key, payload in zip(keys, job.scenarios)
         }
-        cache = ResultCache(self.cache_dir) if self.cache_dir is not None else None
+        cache = self.cache  # shared across jobs (and with the remote tier)
 
         resolved: Dict[str, SimulationResult] = {}
         cached = 0

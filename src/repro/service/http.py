@@ -16,10 +16,21 @@ Routes::
     GET    /healthz              liveness + job counts
     GET    /metrics              Prometheus-style text exposition
 
+Distributed mode adds the lease protocol and the remote cache tier::
+
+    POST   /v1/leases/claim          {"worker": id} -> {"lease": {...}|null}
+    POST   /v1/leases/{id}/heartbeat renew; 404 once the lease lapsed
+    POST   /v1/leases/{id}/complete  {"results": {key: payload}, "failures",
+                                      "stats"} -> acceptance + finished jobs
+    GET    /v1/leases                active leases + fleet counts
+    GET    /v1/cache/{key}           raw cache entry (404 on miss)
+    PUT    /v1/cache/{key}           store a validated entry
+
 Status mapping: invalid payloads are 400, unknown jobs 404, cancelling a
 running job 409, admission refusals 429 with a ``Retry-After`` hint, a
 draining service 503.  Accepted jobs are acknowledged with 202 and a
-``Location`` header for polling.
+``Location`` header for polling.  Lease endpoints on a non-distributed
+service are 409; cache endpoints work whenever the service has a cache.
 """
 
 from __future__ import annotations
@@ -28,12 +39,14 @@ import json
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.analysis.cache import result_to_payload
+from repro.analysis.cache import result_from_payload, result_to_payload
 from repro.errors import ConfigurationError
 from repro.service.core import (
     AdmissionError,
     JobNotCancellableError,
     JobNotFoundError,
+    LeaseNotFoundError,
+    NotDistributedError,
     ServiceDrainingError,
     SimulationService,
 )
@@ -131,12 +144,29 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 return self._with_job(parts[2], self._get_job_result)
             if len(parts) == 4 and parts[3] == "events":
                 return self._with_job(parts[2], self._get_job_events)
+        if parts[:2] == ["v1", "leases"] and len(parts) == 2:
+            return self._get_leases()
+        if parts[:2] == ["v1", "cache"] and len(parts) == 3:
+            return self._get_cache(parts[2])
         self._send_error_json(404, f"no such resource: {self.path}")
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
-        path, _parts = self._route()
+        path, parts = self._route()
         if path == "/v1/jobs":
             return self._post_job()
+        if parts[:2] == ["v1", "leases"]:
+            if len(parts) == 3 and parts[2] == "claim":
+                return self._post_claim()
+            if len(parts) == 4 and parts[3] == "heartbeat":
+                return self._post_heartbeat(parts[2])
+            if len(parts) == 4 and parts[3] == "complete":
+                return self._post_complete(parts[2])
+        self._send_error_json(404, f"no such resource: {self.path}")
+
+    def do_PUT(self) -> None:  # noqa: N802 - http.server API
+        _path, parts = self._route()
+        if parts[:2] == ["v1", "cache"] and len(parts) == 3:
+            return self._put_cache(parts[2])
         self._send_error_json(404, f"no such resource: {self.path}")
 
     def do_DELETE(self) -> None:  # noqa: N802 - http.server API
@@ -278,6 +308,97 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         except JobNotFoundError:  # terminal record deleted
             self._send_json(200, {"id": job_id, "deleted": True})
 
+    # -- the lease protocol (distributed mode) --------------------------------
+
+    def _post_claim(self) -> None:
+        try:
+            body = self._read_body()
+        except ValueError as exc:
+            return self._send_error_json(400, f"bad request: {exc}")
+        worker = str(body.get("worker") or "")
+        if not worker:
+            return self._send_error_json(400, "bad request: 'worker' is required")
+        try:
+            claim = self.service.claim_shard(worker)
+        except NotDistributedError as exc:
+            return self._send_error_json(409, str(exc))
+        # An idle queue is a 200 with a null lease: the worker backs off
+        # and polls again, no error handling needed on its side.
+        self._send_json(200, {"lease": claim})
+
+    def _post_heartbeat(self, lease_id: str) -> None:
+        try:
+            doc = self.service.lease_heartbeat(lease_id)
+        except NotDistributedError as exc:
+            return self._send_error_json(409, str(exc))
+        except LeaseNotFoundError as exc:
+            return self._send_error_json(404, str(exc))
+        self._send_json(200, doc)
+
+    def _post_complete(self, lease_id: str) -> None:
+        try:
+            body = self._read_body()
+        except ValueError as exc:
+            return self._send_error_json(400, f"bad request: {exc}")
+        results_blob = body.get("results") or {}
+        failures_blob = body.get("failures") or {}
+        stats = body.get("stats") or {}
+        if not isinstance(results_blob, dict) or not isinstance(failures_blob, dict):
+            return self._send_error_json(
+                400, "bad request: 'results' and 'failures' must be objects"
+            )
+        try:
+            results = {
+                str(key): result_from_payload(payload)
+                for key, payload in results_blob.items()
+            }
+        except Exception as exc:
+            return self._send_error_json(
+                400, f"bad request: unloadable result payload: {exc}"
+            )
+        failures = {str(key): str(error) for key, error in failures_blob.items()}
+        try:
+            outcome = self.service.complete_shard(
+                lease_id, results, failures, stats if isinstance(stats, dict) else None
+            )
+        except NotDistributedError as exc:
+            return self._send_error_json(409, str(exc))
+        except LeaseNotFoundError as exc:
+            return self._send_error_json(404, str(exc))
+        self._send_json(200, outcome)
+
+    def _get_leases(self) -> None:
+        try:
+            docs = self.service.leases()
+            fleet = self.service.fleet_status()
+        except NotDistributedError as exc:
+            return self._send_error_json(409, str(exc))
+        self._send_json(200, {"leases": docs, "fleet": fleet})
+
+    # -- the remote cache tier ------------------------------------------------
+
+    def _get_cache(self, key: str) -> None:
+        try:
+            entry = self.service.cache_entry_get(key)
+        except NotDistributedError as exc:
+            return self._send_error_json(409, str(exc))
+        if entry is None:
+            return self._send_error_json(404, f"cache miss: {key[:16]}…")
+        self._send_json(200, entry)
+
+    def _put_cache(self, key: str) -> None:
+        try:
+            entry = self._read_body()
+        except ValueError as exc:
+            return self._send_error_json(400, f"bad request: {exc}")
+        try:
+            self.service.cache_entry_put(key, entry)
+        except NotDistributedError as exc:
+            return self._send_error_json(409, str(exc))
+        except ValueError as exc:
+            return self._send_error_json(400, f"bad entry: {exc}")
+        self._send_json(200, {"stored": key})
+
     def _get_healthz(self) -> None:
         service = self.service
         self._send_json(
@@ -287,10 +408,12 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "version": __version__,
                 "jobs": service.counts(),
                 "workers": service.workers,
+                "distributed": service.distributed,
             },
         )
 
     def _get_metrics(self) -> None:
+        self.service.sync_fleet_metrics()  # fresh fleet gauges, no-op local
         body = self.service.metrics.render_prometheus().encode("utf-8")
         self.send_response(200)
         self.send_header("Content-Type", "text/plain; charset=utf-8")

@@ -11,6 +11,14 @@ can reconstruct its world:
 * ``checkpoint``— a running job handed back to pending at drain time;
 * ``deleted``   — the record was explicitly removed (replay drops it).
 
+Distributed mode adds lease records (``shards`` / ``lease`` /
+``heartbeat`` / ``shard_done`` / ``lease_expired``) so the shard-level
+history of a sweep survives a coordinator crash: :func:`replay_shards`
+folds them per job.  Job-level :func:`replay` skips them — a recovered
+distributed job is simply re-sharded, and every shard a dead worker (or
+coordinator) already finished resolves instantly from the result cache,
+so the lease records are an audit trail rather than required state.
+
 :func:`replay` folds a journal into the latest state per job.  Jobs whose
 last state is ``pending`` or ``running`` are *recovered*: returned as
 ``pending`` with ``recovered=True`` so the service re-enqueues them — a
@@ -33,8 +41,9 @@ import json
 import os
 import threading
 import time
+from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.analysis.cache import result_from_payload, result_to_payload
 from repro.service.jobs import Job, JobProgress, JobState
@@ -121,6 +130,79 @@ class JobJournal:
     def record_deleted(self, job_id: str) -> None:
         self._append({"event": "deleted", "t": time.time(), "id": job_id}, sync=True)
 
+    # -- distributed lease records -------------------------------------------
+    #
+    # These carry a "shard"/"lease" field and (except heartbeats) the job
+    # "id"; job-level replay() ignores them because their event names match
+    # none of its transitions.  Compaction drops them: after a restart the
+    # cache, not the lease history, carries finished shard work.
+
+    def record_shard_plan(self, job_id: str, shards: List[Any]) -> None:
+        """The shard decomposition of a distributed job: (id, keys) pairs."""
+        self._append(
+            {
+                "event": "shards",
+                "t": time.time(),
+                "id": job_id,
+                "shards": [
+                    {"id": shard_id, "keys": list(keys)} for shard_id, keys in shards
+                ],
+            }
+        )
+
+    def record_lease(
+        self, lease_id: str, shard_id: str, job_id: str, worker: str, deadline: float
+    ) -> None:
+        self._append(
+            {
+                "event": "lease",
+                "t": time.time(),
+                "lease": lease_id,
+                "shard": shard_id,
+                "id": job_id,
+                "worker": worker,
+                "deadline": deadline,
+            }
+        )
+
+    def record_heartbeat(self, lease_id: str, deadline: float) -> None:
+        self._append(
+            {
+                "event": "heartbeat",
+                "t": time.time(),
+                "lease": lease_id,
+                "deadline": deadline,
+            }
+        )
+
+    def record_shard_done(self, shard_id: str, job_id: str, keys: List[str]) -> None:
+        """A shard's results were delivered and cached (fsynced: the shard
+        must never be re-executed after a crash that follows this line)."""
+        self._append(
+            {
+                "event": "shard_done",
+                "t": time.time(),
+                "shard": shard_id,
+                "id": job_id,
+                "keys": list(keys),
+            },
+            sync=True,
+        )
+
+    def record_lease_expired(
+        self, lease_id: str, shard_id: str, job_id: str, worker: str
+    ) -> None:
+        self._append(
+            {
+                "event": "lease_expired",
+                "t": time.time(),
+                "lease": lease_id,
+                "shard": shard_id,
+                "id": job_id,
+                "worker": worker,
+            }
+        )
+
     def close(self) -> None:
         with self._lock:
             if self._closed:
@@ -191,6 +273,81 @@ class JobJournal:
             self._handle.close()
             os.replace(tmp, self.path)
             self._handle = open(self.path, "a", encoding="utf-8")
+
+
+@dataclass
+class ShardRecovery:
+    """What a journal's lease records say about one job's shard history."""
+
+    #: shard id -> scenario keys, from the job's latest ``shards`` plan.
+    planned: Dict[str, List[str]] = dataclass_field(default_factory=dict)
+    #: shard ids whose results were delivered and cached.
+    done: Set[str] = dataclass_field(default_factory=set)
+    leases_granted: int = 0
+    leases_expired: int = 0
+
+    @property
+    def finished_keys(self) -> Set[str]:
+        """Scenario keys that completed shards already resolved."""
+        keys: Set[str] = set()
+        for shard_id in self.done:
+            keys.update(self.planned.get(shard_id, []))
+        return keys
+
+
+def replay_shards(path: PathLike) -> Dict[str, ShardRecovery]:
+    """Fold a journal's lease records into per-job shard histories.
+
+    Purely an audit/startup-reporting view: recovery correctness rests on
+    the result cache (every ``shard_done`` was preceded by cache writes),
+    not on this fold.  Unreadable lines are skipped like in :func:`replay`.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    history: Dict[str, ShardRecovery] = {}
+    shard_to_job: Dict[str, str] = {}
+    lease_to_job: Dict[str, str] = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        event = record.get("event")
+        if event == "shards":
+            job_id = record.get("id")
+            if not job_id:
+                continue
+            recovery = history.setdefault(job_id, ShardRecovery())
+            for blob in record.get("shards", []):
+                shard_id = blob.get("id")
+                if not shard_id:
+                    continue
+                recovery.planned[shard_id] = list(blob.get("keys", []))
+                shard_to_job[shard_id] = job_id
+        elif event == "lease":
+            job_id = record.get("id") or shard_to_job.get(record.get("shard", ""))
+            if not job_id:
+                continue
+            history.setdefault(job_id, ShardRecovery()).leases_granted += 1
+            lease_to_job[record.get("lease", "")] = job_id
+        elif event == "lease_expired":
+            job_id = record.get("id") or lease_to_job.get(record.get("lease", ""))
+            if not job_id:
+                continue
+            history.setdefault(job_id, ShardRecovery()).leases_expired += 1
+        elif event == "shard_done":
+            job_id = record.get("id") or shard_to_job.get(record.get("shard", ""))
+            shard_id = record.get("shard")
+            if not job_id or not shard_id:
+                continue
+            history.setdefault(job_id, ShardRecovery()).done.add(shard_id)
+        elif event == "deleted":
+            history.pop(record.get("id", ""), None)
+    return history
 
 
 def replay(path: PathLike) -> List[Job]:

@@ -1,0 +1,498 @@
+"""Scenario-grid shards and pull-based leases: the coordinator's work board.
+
+Distributed mode splits each job's scenario grid into **shards** —
+dispatch units a remote worker claims, executes, and delivers back.
+Packing reuses the sweep engine's dispatch discipline: tasks group into
+seed batches of one grid point (:func:`~repro.analysis.runner.grid_point_key`),
+units order longest-total-first (:func:`~repro.analysis.runner.estimate_cost`),
+and shards fill greedily up to ``shard_size`` tasks, so the fleet's load
+balancing matches what a local pool would do.
+
+Workers hold a shard via a **lease**: claimed with a TTL, renewed by
+heartbeats, and expired by the coordinator's janitor when the worker goes
+silent — the shard then requeues at the *front* of the queue (it has
+waited longest).  A ``kill -9``'d worker therefore never loses work, and
+a slow-but-alive worker's late delivery is still accepted while its shard
+remains unresolved: results are pure functions of the scenario, so the
+first delivery wins and duplicates are dropped.
+
+Fleet-wide dedup mirrors the single-process ``_Flight`` mechanism: a key
+already owned by some job's in-flight shard is not re-packed — later jobs
+register as waiters and are assembled when the owning shard lands.
+
+The board is deliberately clock-free (every method takes ``now``) and
+never calls back into the service; callers finish the jobs that
+:meth:`ShardBoard.complete`/:meth:`ShardBoard.add_job` return.
+"""
+
+from __future__ import annotations
+
+import threading
+import uuid
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.cache import ResultCache, scenario_hash
+from repro.analysis.runner import estimate_cost, grid_point_key
+from repro.errors import ReproError
+from repro.metrics.collector import SimulationResult
+from repro.service.jobs import Job
+from repro.service.journal import JobJournal
+
+__all__ = [
+    "Lease",
+    "LeaseNotFoundError",
+    "Shard",
+    "ShardBoard",
+    "CompleteOutcome",
+]
+
+#: A worker counts as "connected" while its last contact (claim, heartbeat
+#: or delivery) is at most this many lease TTLs old.
+WORKER_SEEN_TTLS = 3.0
+
+
+class LeaseNotFoundError(ReproError):
+    """No lease with that id was ever granted by this coordinator."""
+
+
+def new_shard_id() -> str:
+    return "s-" + uuid.uuid4().hex[:12]
+
+
+def new_lease_id() -> str:
+    return "l-" + uuid.uuid4().hex[:12]
+
+
+@dataclass
+class Shard:
+    """One dispatch unit: unique scenario keys of a single job."""
+
+    id: str
+    job_id: str
+    keys: List[str]  # unique scenario hashes, engine dispatch order
+    payloads: Dict[str, Dict[str, Any]]  # key -> scenario payload
+    state: str = "pending"  # pending | leased | done
+    requeues: int = 0
+
+    def cost(self) -> float:
+        return sum(estimate_cost(payload) for payload in self.payloads.values())
+
+
+@dataclass
+class Lease:
+    """A worker's time-bounded hold on one shard."""
+
+    id: str
+    shard: Shard
+    worker: str
+    ttl_s: float
+    deadline: float  # wall-clock instant the hold lapses unless renewed
+
+    def claim_doc(self, seed_batch: int) -> Dict[str, Any]:
+        """The claim response body a worker executes from."""
+        return {
+            "id": self.id,
+            "shard": self.shard.id,
+            "job": self.shard.job_id,
+            "ttl_s": self.ttl_s,
+            "seed_batch": seed_batch,
+            "tasks": [
+                {"key": key, "scenario": self.shard.payloads[key]}
+                for key in self.shard.keys
+            ],
+        }
+
+
+@dataclass
+class _JobEntry:
+    """Assembly state for one job whose keys are (partly) in flight."""
+
+    job: Job
+    keys: List[str]  # per-scenario keys, job order, duplicates kept
+    remaining: Set[str]  # unique keys not yet resolved
+    failed: Dict[str, str] = field(default_factory=dict)
+
+
+@dataclass
+class CompleteOutcome:
+    """What one shard delivery changed."""
+
+    accepted: bool  # results were recorded (first delivery of the shard)
+    late: bool  # the delivering lease had already expired
+    finished: List[Tuple[Job, List[SimulationResult]]] = field(default_factory=list)
+    failed: List[Tuple[Job, str]] = field(default_factory=list)
+
+
+class ShardBoard:
+    """Shard packing, lease bookkeeping and job assembly (thread-safe)."""
+
+    def __init__(
+        self,
+        cache: ResultCache,
+        journal: Optional[JobJournal] = None,
+        shard_size: int = 4,
+        seed_batch: int = 1,
+        lease_ttl_s: float = 10.0,
+    ) -> None:
+        if shard_size < 1:
+            raise ValueError("shard_size must be >= 1")
+        if seed_batch < 1:
+            raise ValueError("seed_batch must be >= 1")
+        if lease_ttl_s <= 0:
+            raise ValueError("lease_ttl_s must be > 0")
+        self.cache = cache
+        self.journal = journal
+        self.shard_size = shard_size
+        self.seed_batch = seed_batch
+        self.lease_ttl_s = lease_ttl_s
+        self._lock = threading.Lock()
+        self._results: Dict[str, SimulationResult] = {}  # session memo
+        self._shards: Dict[str, Shard] = {}
+        self._queue: Deque[str] = deque()  # pending shard ids
+        self._leases: Dict[str, Lease] = {}  # active only
+        self._lease_shard: Dict[str, str] = {}  # every lease ever granted
+        self._entries: Dict[str, _JobEntry] = {}
+        self._waiters: Dict[str, List[str]] = {}  # key -> job ids awaiting it
+        self._owner: Dict[str, str] = {}  # key -> in-flight shard id
+        self._workers_seen: Dict[str, float] = {}  # worker id -> last contact
+        # Lifetime counters, surfaced as fleet metrics.
+        self.leases_granted = 0
+        self.leases_expired = 0
+        self.shards_requeued = 0
+        self.shards_completed = 0
+        self.heartbeats = 0
+
+    # -- job intake ----------------------------------------------------------
+
+    def add_job(self, job: Job) -> Optional[List[SimulationResult]]:
+        """Admit a dispatched job: resolve what the memo/cache already
+        know, register waiters on keys other shards own, pack the rest.
+
+        Returns the full in-order result list when nothing was left to
+        execute (the job is done without any remote work); ``None`` means
+        the job is on the board and will surface from :meth:`complete`.
+        """
+        keys = [scenario_hash(payload) for payload in job.scenarios]
+        payload_by_key = {
+            key: payload for key, payload in zip(keys, job.scenarios)
+        }
+        with self._lock:
+            entry = _JobEntry(job=job, keys=keys, remaining=set())
+            cached = 0
+            to_pack: List[str] = []
+            for key in dict.fromkeys(keys):
+                if key in self._results:
+                    cached += 1
+                    continue
+                hit = self.cache.get(key)
+                if hit is not None:
+                    self._results[key] = hit
+                    cached += 1
+                    continue
+                entry.remaining.add(key)
+                self._waiters.setdefault(key, []).append(job.id)
+                if key not in self._owner:  # fleet-wide in-flight dedup
+                    to_pack.append(key)
+            job.progress.cached = cached
+            job.progress.completed = sum(
+                1 for key in keys if key in self._results
+            )
+            if not entry.remaining:
+                return [self._results[key] for key in keys]
+            shards = self._pack(job.id, to_pack, payload_by_key)
+            for shard in shards:
+                self._shards[shard.id] = shard
+                self._queue.append(shard.id)
+                for key in shard.keys:
+                    self._owner[key] = shard.id
+            self._entries[job.id] = entry
+            if self.journal is not None and shards:
+                self.journal.record_shard_plan(
+                    job.id, [(shard.id, shard.keys) for shard in shards]
+                )
+        job.touch()
+        return None
+
+    def _pack(
+        self,
+        job_id: str,
+        keys: List[str],
+        payload_by_key: Dict[str, Dict[str, Any]],
+    ) -> List[Shard]:
+        """Pack unresolved keys into shards, engine-style: seed-batch units
+        of one grid point each, longest-total-first, greedily filled up to
+        ``shard_size`` tasks (a unit never splits across shards)."""
+        tasks = sorted(
+            ((key, payload_by_key[key]) for key in keys),
+            key=lambda task: estimate_cost(task[1]),
+            reverse=True,
+        )
+        groups: Dict[str, List[Tuple[str, Dict[str, Any]]]] = {}
+        order: List[str] = []
+        for task in tasks:
+            point = grid_point_key(task[1])
+            if point not in groups:
+                groups[point] = []
+                order.append(point)
+            groups[point].append(task)
+        units: List[List[Tuple[str, Dict[str, Any]]]] = []
+        for point in order:
+            group = groups[point]
+            for lo in range(0, len(group), self.seed_batch):
+                units.append(group[lo : lo + self.seed_batch])
+        units.sort(
+            key=lambda unit: sum(estimate_cost(payload) for _, payload in unit),
+            reverse=True,
+        )
+        shards: List[Shard] = []
+        current: List[Tuple[str, Dict[str, Any]]] = []
+        for unit in units:
+            if current and len(current) + len(unit) > self.shard_size:
+                shards.append(self._make_shard(job_id, current))
+                current = []
+            current.extend(unit)
+        if current:
+            shards.append(self._make_shard(job_id, current))
+        return shards
+
+    @staticmethod
+    def _make_shard(
+        job_id: str, tasks: List[Tuple[str, Dict[str, Any]]]
+    ) -> Shard:
+        return Shard(
+            id=new_shard_id(),
+            job_id=job_id,
+            keys=[key for key, _ in tasks],
+            payloads={key: payload for key, payload in tasks},
+        )
+
+    # -- the lease protocol ---------------------------------------------------
+
+    def claim(self, worker: str, now: float) -> Optional[Lease]:
+        """Grant the front pending shard to ``worker`` (None when idle)."""
+        with self._lock:
+            self._workers_seen[worker] = now
+            while self._queue:
+                shard_id = self._queue.popleft()
+                shard = self._shards.get(shard_id)
+                if shard is None or shard.state != "pending":
+                    continue  # delivered late or re-leased while queued
+                shard.state = "leased"
+                lease = Lease(
+                    id=new_lease_id(),
+                    shard=shard,
+                    worker=worker,
+                    ttl_s=self.lease_ttl_s,
+                    deadline=now + self.lease_ttl_s,
+                )
+                self._leases[lease.id] = lease
+                self._lease_shard[lease.id] = shard.id
+                self.leases_granted += 1
+                if self.journal is not None:
+                    self.journal.record_lease(
+                        lease.id, shard.id, shard.job_id, worker, lease.deadline
+                    )
+                return lease
+            return None
+
+    def heartbeat(self, lease_id: str, now: float) -> Lease:
+        """Renew an active lease's deadline; raises on unknown/expired."""
+        with self._lock:
+            lease = self._leases.get(lease_id)
+            if lease is None:
+                raise LeaseNotFoundError(f"no active lease: {lease_id}")
+            lease.deadline = now + lease.ttl_s
+            self._workers_seen[lease.worker] = now
+            self.heartbeats += 1
+            if self.journal is not None:
+                self.journal.record_heartbeat(lease_id, lease.deadline)
+            return lease
+
+    def expire_leases(self, now: float) -> List[Lease]:
+        """Requeue shards whose lease deadline has passed.
+
+        Requeued shards go to the *front* of the queue: their job has
+        already waited one full lease through a dead worker.
+        """
+        expired: List[Lease] = []
+        with self._lock:
+            overdue = [
+                lease_id
+                for lease_id, lease in self._leases.items()
+                if lease.deadline < now
+            ]
+            for lease_id in overdue:
+                lease = self._leases.pop(lease_id)
+                shard = lease.shard
+                if shard.state == "leased":
+                    shard.state = "pending"
+                    shard.requeues += 1
+                    self._queue.appendleft(shard.id)
+                    self.shards_requeued += 1
+                self.leases_expired += 1
+                if self.journal is not None:
+                    self.journal.record_lease_expired(
+                        lease_id, shard.id, shard.job_id, lease.worker
+                    )
+                expired.append(lease)
+        return expired
+
+    def complete(
+        self,
+        lease_id: str,
+        results: Dict[str, SimulationResult],
+        failures: Optional[Dict[str, str]] = None,
+        now: float = 0.0,
+        executed: int = 0,
+    ) -> CompleteOutcome:
+        """Deliver a shard's results and assemble every job they finish.
+
+        The first delivery of a shard wins — even from a lease that
+        already expired (a slow worker's work is never discarded); later
+        duplicates are acknowledged but dropped (``accepted=False``).
+        Keys the worker reported neither as results nor failures count as
+        failures.  Raises :class:`LeaseNotFoundError` for lease ids this
+        coordinator never granted.
+        """
+        failures = dict(failures or {})
+        with self._lock:
+            shard_id = self._lease_shard.get(lease_id)
+            if shard_id is None:
+                raise LeaseNotFoundError(f"unknown lease: {lease_id}")
+            shard = self._shards[shard_id]
+            lease = self._leases.pop(lease_id, None)
+            late = lease is None
+            if lease is not None:
+                self._workers_seen[lease.worker] = now
+            if shard.state == "done":
+                return CompleteOutcome(accepted=False, late=late)
+            for key in shard.keys:
+                if key not in results and key not in failures:
+                    failures[key] = "shard delivery omitted this key"
+            settled = {
+                key: results[key] for key in shard.keys if key in results
+            }
+            shard.state = "done"
+            shard.payloads = {}  # free: only keys matter once delivered
+            self.shards_completed += 1
+            for key in shard.keys:
+                self._owner.pop(key, None)
+            for key, result in settled.items():
+                self._results[key] = result
+                self.cache.put(key, result)
+            if self.journal is not None:
+                self.journal.record_shard_done(shard.id, shard.job_id, shard.keys)
+            owner_entry = self._entries.get(shard.job_id)
+            if owner_entry is not None and executed > 0:
+                # Worker-side execution, attributed to the shard's job.
+                owner_entry.job.progress.executed += executed
+            finished, failed = self._settle_keys_locked(
+                settled.keys(),
+                {key: failures[key] for key in shard.keys if key in failures},
+            )
+        return CompleteOutcome(
+            accepted=True, late=late, finished=finished, failed=failed
+        )
+
+    def _settle_keys_locked(
+        self, done_keys: Iterable[str], failed_keys: Dict[str, str]
+    ) -> Tuple[List[Tuple[Job, List[SimulationResult]]], List[Tuple[Job, str]]]:
+        """Resolve waiters; return the jobs now fully settled."""
+        touched: Set[str] = set()
+        for key in done_keys:
+            for job_id in self._waiters.pop(key, []):
+                entry = self._entries.get(job_id)
+                if entry is None:
+                    continue  # job already failed out of the board
+                entry.remaining.discard(key)
+                touched.add(job_id)
+        for key, error in failed_keys.items():
+            for job_id in self._waiters.pop(key, []):
+                entry = self._entries.get(job_id)
+                if entry is None:
+                    continue
+                entry.remaining.discard(key)
+                entry.failed[key] = error
+                touched.add(job_id)
+        finished: List[Tuple[Job, List[SimulationResult]]] = []
+        failed: List[Tuple[Job, str]] = []
+        for job_id in sorted(touched):
+            entry = self._entries[job_id]
+            job = entry.job
+            job.progress.completed = sum(
+                1 for key in entry.keys if key in self._results
+            )
+            if entry.remaining:
+                job.touch()  # partial progress is still visible progress
+                continue
+            del self._entries[job_id]
+            if entry.failed:
+                detail = "; ".join(
+                    f"{key[:12]}…: {error}"
+                    for key, error in sorted(entry.failed.items())
+                )
+                failed.append(
+                    (job, f"{len(entry.failed)} shard task(s) failed: {detail}")
+                )
+            else:
+                finished.append(
+                    (job, [self._results[key] for key in entry.keys])
+                )
+        return finished, failed
+
+    # -- introspection --------------------------------------------------------
+
+    def worker_count(self, now: float) -> int:
+        """Workers heard from within the last few lease TTLs."""
+        horizon = WORKER_SEEN_TTLS * self.lease_ttl_s
+        with self._lock:
+            return sum(
+                1
+                for last_seen in self._workers_seen.values()
+                if now - last_seen <= horizon
+            )
+
+    def counts(self, now: float) -> Dict[str, int]:
+        """Fleet shape + lifetime totals, for metrics and listings."""
+        with self._lock:
+            by_state = {"pending": 0, "leased": 0, "done": 0}
+            for shard in self._shards.values():
+                by_state[shard.state] += 1
+            horizon = WORKER_SEEN_TTLS * self.lease_ttl_s
+            workers = sum(
+                1
+                for last_seen in self._workers_seen.values()
+                if now - last_seen <= horizon
+            )
+            return {
+                "shards_pending": by_state["pending"],
+                "shards_leased": by_state["leased"],
+                "shards_done": by_state["done"],
+                "leases_active": len(self._leases),
+                "workers_connected": workers,
+                "leases_granted": self.leases_granted,
+                "leases_expired": self.leases_expired,
+                "shards_requeued": self.shards_requeued,
+                "shards_completed": self.shards_completed,
+                "heartbeats": self.heartbeats,
+            }
+
+    def lease_docs(self, now: float) -> List[Dict[str, Any]]:
+        """Active leases as JSON-able docs (the ``GET /v1/leases`` body)."""
+        with self._lock:
+            return [
+                {
+                    "id": lease.id,
+                    "shard": lease.shard.id,
+                    "job": lease.shard.job_id,
+                    "worker": lease.worker,
+                    "tasks": len(lease.shard.keys),
+                    "deadline": lease.deadline,
+                    "expires_in_s": lease.deadline - now,
+                }
+                for lease in sorted(
+                    self._leases.values(), key=lambda lease: lease.id
+                )
+            ]

@@ -11,6 +11,7 @@ exposition: one ``name value`` line per snapshot key, names sanitised to
 from __future__ import annotations
 
 import re
+import threading
 from typing import Dict, Optional
 
 from repro.obs.instruments import Counter, Gauge, Histogram, MetricsRegistry
@@ -48,11 +49,44 @@ class ServiceMetrics:
         self.sims_deduped: Counter = reg.counter("service.sims.deduped")
         # Histogram: how long one job takes wall-clock, end to end.
         self.job_wall: Histogram = reg.histogram("service.job.wall_s", JOB_WALL_BUCKETS)
+        # Fleet health (distributed mode): gauges for the current shape,
+        # counters for lifetime lease/shard traffic.  Counters are synced
+        # from the shard board's authoritative totals via :meth:`sync_fleet`
+        # (delta-based, so the board never needs metric handles).
+        self.fleet_workers: Gauge = reg.gauge("service.fleet.workers")
+        self.fleet_leases_active: Gauge = reg.gauge("service.fleet.leases_active")
+        self.fleet_shards_pending: Gauge = reg.gauge("service.fleet.shards_pending")
+        self._fleet_counters: Dict[str, Counter] = {
+            "leases_granted": reg.counter("service.fleet.leases_granted"),
+            "leases_expired": reg.counter("service.fleet.leases_expired"),
+            "shards_requeued": reg.counter("service.fleet.shards_requeued"),
+            "shards_completed": reg.counter("service.fleet.shards_completed"),
+            "heartbeats": reg.counter("service.fleet.heartbeats"),
+        }
+        self._fleet_last: Dict[str, int] = {}
+        self._fleet_lock = threading.Lock()
+        # The remote cache tier, as served by this coordinator.
+        self.cache_remote_hits: Counter = reg.counter("service.cache.remote_hits")
+        self.cache_remote_misses: Counter = reg.counter("service.cache.remote_misses")
+        self.cache_remote_stores: Counter = reg.counter("service.cache.remote_stores")
 
     def set_job_gauges(self, queue_depth: int, pending: int, running: int) -> None:
         self.queue_depth.set(queue_depth)
         self.jobs_pending.set(pending)
         self.jobs_running.set(running)
+
+    def sync_fleet(self, counts: Dict[str, int]) -> None:
+        """Fold a shard-board :meth:`~…ShardBoard.counts` snapshot in."""
+        with self._fleet_lock:
+            self.fleet_workers.set(counts.get("workers_connected", 0))
+            self.fleet_leases_active.set(counts.get("leases_active", 0))
+            self.fleet_shards_pending.set(counts.get("shards_pending", 0))
+            for name, counter in self._fleet_counters.items():
+                total = counts.get(name, 0)
+                delta = total - self._fleet_last.get(name, 0)
+                if delta > 0:
+                    counter.inc(delta)
+                    self._fleet_last[name] = total
 
     def snapshot(self) -> Dict[str, float]:
         return self.registry.snapshot()

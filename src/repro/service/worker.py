@@ -1,0 +1,318 @@
+"""The pull-based remote sweep worker (``repro-worker``).
+
+A worker is a loop around three HTTP verbs against a distributed
+coordinator (:class:`~repro.service.core.SimulationService` with
+``distributed=True``):
+
+1. **claim** — ``POST /v1/leases/claim`` pulls the next shard (scenario
+   payloads + keys + the coordinator's ``seed_batch``), or backs off when
+   the queue is idle;
+2. **heartbeat** — a sidecar thread renews the lease every third of its
+   TTL while the shard executes, so a healthy-but-slow worker is never
+   mistaken for a dead one;
+3. **complete** — results travel back as cache-entry payloads; delivery
+   is first-wins on the coordinator, so a late worker whose lease already
+   expired still contributes (and a duplicate is dropped harmlessly).
+
+Execution itself is the ordinary :class:`~repro.analysis.runner.SweepEngine`
+over a :class:`~repro.analysis.cache.TieredResultCache`: a local disk tier
+plus the coordinator's ``/v1/cache`` remote tier.  Every result the worker
+computes is therefore pushed fleet-wide as soon as it settles, and a grid
+point any other worker already ran is a remote hit, not a re-simulation.
+
+The claim/heartbeat loops lean on :class:`ServiceClient`'s bounded
+transient-error retry, so a coordinator restart stalls the fleet instead
+of crashing it.  SIGTERM/SIGINT finish the shard in hand, deliver it,
+and exit.
+"""
+# repro-lint: disable-file=DET001 -- poll/heartbeat cadence is wall-clock
+# serving machinery; simulation state never reads it.
+
+from __future__ import annotations
+
+import argparse
+import os
+import signal
+import socket
+import sys
+import tempfile
+import threading
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.cache import HTTPCacheTier, TieredResultCache
+from repro.analysis.runner import SweepEngine, SweepExecutionError, TaskFn
+from repro.scenarios.io import scenario_from_dict
+from repro.service.client import ServiceClient, ServiceError
+from repro.version import __version__
+
+__all__ = ["ShardWorker", "main"]
+
+
+def default_worker_id() -> str:
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class ShardWorker:
+    """Claims, executes and delivers shards until stopped."""
+
+    def __init__(
+        self,
+        client: ServiceClient,
+        worker_id: Optional[str] = None,
+        cache_dir: Optional[str] = None,
+        processes: int = 1,
+        retries: int = 1,
+        poll_s: float = 0.5,
+        task_fn: Optional[TaskFn] = None,
+        verbose: bool = False,
+    ) -> None:
+        self.client = client
+        self.worker_id = worker_id or default_worker_id()
+        self.processes = processes
+        self.retries = retries
+        self.poll_s = poll_s
+        self._task_fn = task_fn
+        self.verbose = verbose
+        if cache_dir is None:
+            cache_dir = tempfile.mkdtemp(prefix="repro-worker-cache-")
+        # Local tier + the coordinator's /v1/cache remote tier: everything
+        # this worker computes becomes a fleet-wide hit immediately.
+        self.cache = TieredResultCache(
+            cache_dir, HTTPCacheTier(client.base_url, timeout=client.timeout)
+        )
+        self._stop = threading.Event()
+        self.shards_done = 0
+        self.executed = 0
+
+    def stop(self) -> None:
+        """Finish (and deliver) the shard in hand, then exit the loop."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def run(self, max_shards: Optional[int] = None) -> int:
+        """The worker loop; returns the number of shards delivered."""
+        while not self._stop.is_set():
+            if max_shards is not None and self.shards_done >= max_shards:
+                break
+            try:
+                claim = self.client.claim(self.worker_id)
+            except ServiceError as exc:
+                # Unreachable past the client's retries, or the service
+                # is not distributed (409): back off and try again.
+                self._log(f"claim failed ({exc}); backing off")
+                if self._stop.wait(self.poll_s):
+                    break
+                continue
+            if claim is None:
+                if self._stop.wait(self.poll_s):
+                    break
+                continue
+            self._execute_claim(claim)
+        return self.shards_done
+
+    # -- one shard ------------------------------------------------------------
+
+    def _execute_claim(self, claim: Dict[str, Any]) -> None:
+        lease_id = str(claim["id"])
+        ttl_s = float(claim.get("ttl_s", 10.0))
+        tasks = list(claim.get("tasks", []))
+        keys: List[str] = [str(task["key"]) for task in tasks]
+        self._log(
+            f"claimed shard {claim.get('shard')} "
+            f"({len(keys)} task(s), lease {lease_id})"
+        )
+        beat_stop = threading.Event()
+        beater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease_id, ttl_s, beat_stop),
+            name=f"repro-worker-heartbeat-{lease_id}",
+            daemon=True,
+        )
+        beater.start()
+        results: Dict[str, Any] = {}
+        failures: Dict[str, str] = {}
+        stats = {"executed": 0, "cache_hits": 0}
+        try:
+            engine = SweepEngine(
+                processes=self.processes,
+                cache=self.cache,
+                retries=self.retries,
+                task_fn=self._task_fn,
+                seed_batch=max(1, int(claim.get("seed_batch", 1))),
+            )
+            configs = [scenario_from_dict(task["scenario"]) for task in tasks]
+            try:
+                report = engine.run(configs)
+            except SweepExecutionError as exc:
+                # Deliver what settled (it is already in the cache) and
+                # name what did not; the coordinator fails those keys.
+                failures = dict(exc.failures)
+                for key in keys:
+                    if key in failures:
+                        continue
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        results[key] = hit
+                    else:
+                        failures[key] = "not executed (shard aborted)"
+            else:
+                results = dict(zip(keys, report.results))
+                stats = {
+                    "executed": report.executed,
+                    "cache_hits": report.cache_hits,
+                }
+        except Exception as exc:  # defensive: a broken claim fails cleanly
+            failures = {key: f"{type(exc).__name__}: {exc}" for key in keys}
+        finally:
+            beat_stop.set()
+            beater.join()
+        try:
+            ack = self.client.complete(lease_id, results, failures, stats)
+        except ServiceError as exc:
+            # Coordinator unreachable past retries, or it restarted and no
+            # longer knows the lease.  Nothing is lost: every result lives
+            # in this worker's local tier and resolves the re-queued shard
+            # instantly on the next claim.
+            self._log(f"delivery of lease {lease_id} failed ({exc})")
+            return
+        self.shards_done += 1
+        self.executed += int(stats.get("executed", 0))
+        self._log(
+            f"delivered lease {lease_id}: accepted={ack.get('accepted')} "
+            f"late={ack.get('late')} finished_jobs={ack.get('finished_jobs')}"
+        )
+
+    def _heartbeat_loop(
+        self, lease_id: str, ttl_s: float, stop: threading.Event
+    ) -> None:
+        interval = max(0.05, ttl_s / 3.0)
+        while not stop.wait(interval):
+            try:
+                self.client.lease_heartbeat(lease_id)
+            except ServiceError as exc:
+                if exc.status == 404:
+                    # The lease lapsed (e.g. a long GC pause): stop renewing
+                    # but keep executing — completion is accepted late.
+                    self._log(f"lease {lease_id} lapsed; finishing anyway")
+                    return
+                # Transient even after client retries: keep beating; the
+                # coordinator may come back before the lease expires.
+
+    def _log(self, message: str) -> None:
+        if self.verbose:
+            print(f"[{self.worker_id}] {message}", file=sys.stderr, flush=True)
+
+
+# -- repro-worker ------------------------------------------------------------
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-worker",
+        description=(
+            "Pull-based sweep worker: claims scenario shards from a "
+            "distributed repro-serve coordinator, executes them through "
+            "the sweep engine, and delivers the results back."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
+    parser.add_argument(
+        "--url",
+        default="http://127.0.0.1:8642",
+        help="coordinator base URL (default: http://127.0.0.1:8642)",
+    )
+    parser.add_argument(
+        "--worker-id",
+        default=None,
+        help="fleet-visible worker name (default: <host>-<pid>)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="local result-cache tier (default: a fresh temp dir)",
+    )
+    parser.add_argument(
+        "--processes",
+        type=int,
+        default=1,
+        metavar="N",
+        help="engine processes per shard (default: 1)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="in-parent retries per failed simulation (default: 1)",
+    )
+    parser.add_argument(
+        "--poll",
+        type=float,
+        default=0.5,
+        metavar="SECONDS",
+        help="idle back-off between claims (default: 0.5)",
+    )
+    parser.add_argument(
+        "--max-shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="exit after delivering N shards (default: run until signalled)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout (s)"
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="log claims and deliveries"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    worker_id = args.worker_id or default_worker_id()
+    client = ServiceClient(args.url, client_id=worker_id, timeout=args.timeout)
+    worker = ShardWorker(
+        client,
+        worker_id=worker_id,
+        cache_dir=args.cache_dir,
+        processes=args.processes,
+        retries=args.retries,
+        poll_s=args.poll,
+        verbose=args.verbose,
+    )
+
+    def _on_signal(signum: int, _frame: Any) -> None:
+        print(
+            f"[{worker_id}] signal {signal.Signals(signum).name}: finishing "
+            "current shard, then exiting",
+            file=sys.stderr,
+            flush=True,
+        )
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    print(
+        f"repro-worker {__version__} ({worker_id}) pulling from {args.url}",
+        flush=True,
+    )
+    delivered = worker.run(max_shards=args.max_shards)
+    print(
+        f"[{worker_id}] done: {delivered} shard(s) delivered, "
+        f"{worker.executed} simulation(s) executed",
+        file=sys.stderr,
+        flush=True,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,6 +1,7 @@
 """Tests for result-cache garbage collection (prune + spec parsing)."""
 
 import os
+import threading
 
 import pytest
 
@@ -94,8 +95,13 @@ def test_prune_removes_stale_temp_files(tmp_path, result):
     cache.put(key, result)
     orphan = cache._path(key).with_suffix(".tmp.99999")
     orphan.write_text("crashed writer leftovers")
+    os.utime(orphan, (NOW - DAY, NOW - DAY))  # stale: its writer is long dead
+    fresh = cache._path(key).with_suffix(".tmp.88888")
+    fresh.write_text("a live writer holds this right now")
+    os.utime(fresh, (NOW, NOW))
     report = cache.prune(max_age_s=10 * DAY, now=NOW)
     assert not orphan.exists()
+    assert fresh.exists()  # young temp files belong to live writers
     assert report.kept == 1
 
 
@@ -114,6 +120,75 @@ def test_prune_report_summary_reads_well(tmp_path, result):
     summary = cache.prune(max_age_s=DAY, now=NOW).summary()
     assert "pruned 1/2 entries" in summary
     assert "1 by age" in summary
+
+
+# -- the prune vs get race ----------------------------------------------------
+
+
+def test_prune_spares_entries_read_between_scan_and_evict(tmp_path, result, monkeypatch):
+    """The LRU race, deterministically: an entry judged evictable by the
+    scan is read (mtime-refreshed) before the unlink — prune must notice
+    the refresh at its pre-unlink re-check and spare the entry."""
+    cache = ResultCache(tmp_path)
+    keys = _fill(cache, result, ages_days=[0, 9])
+    hot = keys[-1]  # the oldest entry: first in eviction order
+    hot_path = cache._path(hot)
+    entry_size = hot_path.stat().st_size
+    reader = ResultCache(tmp_path)
+    fetched = []
+
+    real_check = ResultCache._unchanged_since
+
+    def check_with_concurrent_reader(path, mtime):
+        if path == hot_path and not fetched:
+            # Interleave the reader exactly between scan and unlink.
+            fetched.append(reader.get(hot))
+        return real_check(path, mtime)
+
+    monkeypatch.setattr(
+        ResultCache, "_unchanged_since", staticmethod(check_with_concurrent_reader)
+    )
+    report = cache.prune(max_bytes=entry_size, now=NOW)
+    assert fetched == [result]  # the concurrent read completed, correctly
+    assert report.spared >= 1
+    assert hot in cache  # mid-fetch entries are never evicted
+
+
+def test_prune_and_get_hammer_never_starves_a_hot_reader(tmp_path, result):
+    """Threaded regression: a reader hammering one key while a pruner
+    cycles a tight byte budget must always see the (re-put) entry as a
+    clean hit or a clean miss — never an exception or a torn result."""
+    cache = ResultCache(tmp_path)
+    hot = scenario_hash(_config(seed=1))
+    cache.put(hot, result)
+    entry_size = cache._path(hot).stat().st_size
+    stop = threading.Event()
+    bad = []
+    hits = []
+
+    def reader():
+        reader_cache = ResultCache(tmp_path)
+        while not stop.is_set():
+            hit = reader_cache.get(hot)
+            if hit is None:
+                reader_cache.put(hot, result)  # evicted: legitimate; re-seed
+            elif hit != result:
+                bad.append(hit)
+            else:
+                hits.append(True)
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for _round in range(50):
+            for seed in range(2, 6):
+                cache.put(scenario_hash(_config(seed=seed)), result)
+            cache.prune(max_bytes=2 * entry_size)
+    finally:
+        stop.set()
+        thread.join()
+    assert bad == []  # every observed hit was complete and correct
+    assert hits  # and the reader did observe real hits along the way
 
 
 # -- spec parsing -------------------------------------------------------------

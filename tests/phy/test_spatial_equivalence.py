@@ -84,6 +84,24 @@ def test_coincident_nodes():
     _assert_static_equivalent(positions)
 
 
+def test_rounded_distance_exactly_at_reach_across_a_cell_seam():
+    """Hypothesis-found: a node at -5.6e-134 floors into cell -1 while its
+    partner at 1.0 sits in cell 1 — two cells apart — yet their float64
+    distance rounds to exactly the decision radius, so all-pairs counts
+    the pair as in range.  The grid's slightly widened cell edge must keep
+    such pairs inside the 3x3 block."""
+    propagation = DiskPropagation(rx_range=1.0, cs_range=1.0)
+    positions = [(0.0, 1.0), (0.0, -5.608999621580105e-134)]
+    allpairs, grid = (
+        NeighborCache(StaticModel(positions), propagation, quantum=0.05, index=name)
+        for name in ("allpairs", "grid")
+    )
+    for node_id in (0, 1):
+        assert allpairs.rx_neighbors(node_id, 0.0) == grid.rx_neighbors(node_id, 0.0)
+        assert allpairs.cs_neighbors(node_id, 0.0) == grid.cs_neighbors(node_id, 0.0)
+    assert grid.rx_neighbors(0, 0.0) == [1]  # the rounded distance is in range
+
+
 def test_far_out_of_area_nodes():
     """Outliers far outside the nominal field stretch the grid's bounding
     box without distorting in-field answers."""

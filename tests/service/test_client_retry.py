@@ -1,0 +1,154 @@
+"""Client retry behaviour against a deliberately flaky stub server.
+
+The stub is a raw TCP listener: it drops the first N connections on the
+floor (a refused/reset server, from urllib's point of view) and then
+serves canned JSON.  That exercises the exact failure the retry loop is
+for — transient connection errors — without any real service behind it.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.service.client import ServiceClient, TransientServiceError
+
+from tests.service.helpers import small_config
+
+
+class FlakyServer:
+    """Drops the first ``fail_first`` connections, then answers every
+    request on a connection with ``payload`` (one request per connection)."""
+
+    def __init__(self, fail_first=0, payload=None, status="200 OK"):
+        self.fail_first = fail_first
+        self.payload = payload if payload is not None else {}
+        self.status = status
+        self.connections = 0
+        self.requests = []  # first request line of each served connection
+        self._lock = threading.Lock()
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self._sock.settimeout(0.2)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    @property
+    def url(self):
+        return f"http://127.0.0.1:{self._sock.getsockname()[1]}"
+
+    def __enter__(self):
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info):
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        self._sock.close()
+
+    def _serve(self):
+        while not self._stop.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                self.connections += 1
+                drop = self.connections <= self.fail_first
+            try:
+                if drop:
+                    # Reset instead of FIN so even a request that was fully
+                    # written fails loudly rather than hanging.
+                    conn.setsockopt(
+                        socket.SOL_SOCKET,
+                        socket.SO_LINGER,
+                        b"\x01\x00\x00\x00\x00\x00\x00\x00",
+                    )
+                    conn.close()
+                    continue
+                conn.settimeout(5.0)
+                data = b""
+                while b"\r\n\r\n" not in data:
+                    chunk = conn.recv(65536)
+                    if not chunk:
+                        break
+                    data += chunk
+                head = data.split(b"\r\n\r\n", 1)[0].decode("latin-1")
+                request_line = head.splitlines()[0] if head else ""
+                with self._lock:
+                    self.requests.append(request_line)
+                body = json.dumps(self.payload).encode("utf-8")
+                conn.sendall(
+                    f"HTTP/1.1 {self.status}\r\n"
+                    "Content-Type: application/json\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    "Connection: close\r\n\r\n".encode("latin-1")
+                    + body
+                )
+                conn.close()
+            except OSError:
+                pass
+
+
+def fast_client(url, retries=2):
+    return ServiceClient(
+        url, client_id="pytest", timeout=5.0, retries=retries, backoff_s=0.01
+    )
+
+
+def test_get_retries_past_transient_failures(tmp_path):
+    with FlakyServer(fail_first=2, payload={"jobs": []}) as server:
+        client = fast_client(server.url, retries=2)
+        assert client.list_jobs() == []
+        assert server.connections == 3  # two drops + the success
+
+
+def test_retries_are_bounded(tmp_path):
+    with FlakyServer(fail_first=10**6) as server:
+        client = fast_client(server.url, retries=2)
+        with pytest.raises(TransientServiceError):
+            client.list_jobs()
+        assert server.connections == 3  # 1 try + 2 retries, then give up
+
+
+def test_non_idempotent_submit_is_never_retried(tmp_path):
+    """A dropped submit could still have been admitted server-side:
+    retrying might double-enqueue the job, so the client must not."""
+    with FlakyServer(fail_first=1) as server:
+        client = fast_client(server.url, retries=5)
+        with pytest.raises(TransientServiceError):
+            client.submit(small_config(seed=1))
+        assert server.connections == 1
+
+
+def test_lease_claim_is_retried_as_idempotent(tmp_path):
+    """claim is POST but explicitly idempotent: re-claiming after a lost
+    response just grants the next shard (or the same one, requeued)."""
+    with FlakyServer(fail_first=1, payload={"lease": None}) as server:
+        client = fast_client(server.url, retries=2)
+        assert client.claim("w1") is None
+        assert server.connections == 2
+        assert server.requests == ["POST /v1/leases/claim HTTP/1.1"]
+
+
+def test_heartbeat_is_retried_as_idempotent(tmp_path):
+    with FlakyServer(
+        fail_first=1, payload={"lease": "l-1", "deadline": 99.0}
+    ) as server:
+        client = fast_client(server.url, retries=2)
+        ack = client.lease_heartbeat("l-1")
+        assert ack["lease"] == "l-1"
+        assert server.connections == 2
+
+
+def test_zero_retries_disables_the_loop(tmp_path):
+    with FlakyServer(fail_first=1, payload={"jobs": []}) as server:
+        client = fast_client(server.url, retries=0)
+        with pytest.raises(TransientServiceError):
+            client.list_jobs()
+        assert server.connections == 1

@@ -1,0 +1,175 @@
+"""End-to-end tests for distributed mode: coordinator + in-process workers.
+
+These spin up a real ``SimulationService(distributed=True)`` behind a real
+``ServiceHTTPServer`` and drive it with :class:`ShardWorker` instances
+running in threads — the exact production claim/heartbeat/complete path,
+minus the process boundary (the SIGKILL variant lives in
+``tests/service/smoke_distributed.py`` and the CI smoke job).
+"""
+
+import threading
+
+from repro.analysis.cache import (
+    HTTPCacheTier,
+    ResultCache,
+    TieredResultCache,
+    scenario_hash,
+)
+from repro.analysis.runner import SweepEngine
+from repro.scenarios.io import scenario_to_dict
+from repro.service.client import ServiceClient
+from repro.service.worker import ShardWorker
+
+from tests.service.helpers import CountingTask, fake_result, small_config
+from tests.service.test_http import LiveServer
+
+
+def distributed_server(tmp_path, **kwargs):
+    kwargs.setdefault("cache_dir", str(tmp_path / "coordinator-cache"))
+    kwargs.setdefault("distributed", True)
+    kwargs.setdefault("shard_size", 2)
+    kwargs.setdefault("lease_ttl_s", 10.0)
+    return LiveServer(**kwargs)
+
+
+class WorkerFleet:
+    """N ShardWorkers on threads against one coordinator URL."""
+
+    def __init__(self, base_url, tmp_path, n=2, task_fns=None, **worker_kwargs):
+        self.workers = []
+        self.threads = []
+        worker_kwargs.setdefault("poll_s", 0.05)
+        for i in range(n):
+            client = ServiceClient(
+                base_url, client_id=f"fleet-{i}", timeout=30.0
+            )
+            worker = ShardWorker(
+                client,
+                worker_id=f"w{i}",
+                cache_dir=str(tmp_path / f"worker-{i}-cache"),
+                task_fn=task_fns[i] if task_fns else worker_kwargs.get("task_fn"),
+                **{k: v for k, v in worker_kwargs.items() if k != "task_fn"},
+            )
+            self.workers.append(worker)
+
+    def __enter__(self):
+        for worker in self.workers:
+            thread = threading.Thread(target=worker.run, daemon=True)
+            thread.start()
+            self.threads.append(thread)
+        return self.workers
+
+    def __exit__(self, *exc_info):
+        for worker in self.workers:
+            worker.stop()
+        for thread in self.threads:
+            thread.join(timeout=30.0)
+
+
+def test_cold_sweep_across_two_workers_matches_single_process(tmp_path):
+    configs = [small_config(seed=s) for s in range(1, 7)]
+    expected = [fake_result(scenario_to_dict(c)) for c in configs]
+    tasks = [CountingTask(), CountingTask()]
+    with distributed_server(tmp_path, shard_size=2) as client:
+        with WorkerFleet(client.base_url, tmp_path, n=2, task_fns=tasks):
+            job_id = client.submit(configs)
+            status = client.wait(job_id, timeout=60)
+            assert status["state"] == "done"
+            results = client.results(job_id)
+            fleet = client.leases()["fleet"]
+    assert results == expected
+    # Every seed ran exactly once, fleet-wide: the shard board never
+    # double-assigns a key and the remote tier dedups across workers.
+    executed = sorted(tasks[0].calls + tasks[1].calls)
+    assert executed == list(range(1, 7))
+    assert fleet["shards_completed"] == 3
+    assert fleet["leases_granted"] >= 3
+
+
+def test_resubmission_is_pure_cache_hit_with_zero_executions(tmp_path):
+    configs = [small_config(seed=s) for s in (1, 2, 3)]
+    task = CountingTask()
+    with distributed_server(tmp_path) as client:
+        with WorkerFleet(
+            client.base_url, tmp_path, n=1, task_fn=task
+        ):
+            first = client.fetch(client.submit(configs), timeout=60)
+            calls_after_first = list(task.calls)
+            second = client.fetch(client.submit(configs), timeout=60)
+    assert first == second
+    assert sorted(calls_after_first) == [1, 2, 3]
+    assert task.calls == calls_after_first  # warm job executed nothing
+
+
+def test_dead_worker_lease_expires_and_fleet_recovers(tmp_path):
+    """A worker that claims a shard and vanishes loses no grid points."""
+    configs = [small_config(seed=s) for s in range(1, 5)]
+    expected = [fake_result(scenario_to_dict(c)) for c in configs]
+    task = CountingTask()
+    with distributed_server(
+        tmp_path, shard_size=2, lease_ttl_s=0.4
+    ) as client:
+        job_id = client.submit(configs)
+        # A "worker" that claims and then dies without a single heartbeat.
+        ghost = client.claim("ghost-worker")
+        assert ghost is not None and len(ghost["tasks"]) == 2
+        # The live worker finishes everything, including the ghost's
+        # shard once the janitor expires its lease (ttl 0.4 s).
+        with WorkerFleet(
+            client.base_url, tmp_path, n=1, task_fn=task
+        ):
+            status = client.wait(job_id, timeout=60)
+            fleet = client.leases()["fleet"]
+        assert status["state"] == "done"
+        assert client.results(job_id) == expected
+    assert sorted(task.calls) == [1, 2, 3, 4]
+    assert fleet["leases_expired"] >= 1
+    assert fleet["shards_requeued"] >= 1
+
+
+def test_remote_cache_tier_spares_a_fresh_worker_every_execution(tmp_path):
+    """A sweep on a new machine after another worker populated the cache
+    executes zero simulations: every get is a remote-tier hit."""
+    configs = [small_config(seed=s) for s in (1, 2, 3)]
+    with distributed_server(tmp_path) as client:
+        with WorkerFleet(
+            client.base_url, tmp_path, n=1, task_fn=CountingTask()
+        ):
+            client.fetch(client.submit(configs), timeout=60)
+        # A brand-new "machine": empty local tier, coordinator remote tier.
+        counting = CountingTask()
+        fresh_cache = TieredResultCache(
+            tmp_path / "fresh-local", HTTPCacheTier(client.base_url)
+        )
+        engine = SweepEngine(processes=1, cache=fresh_cache, task_fn=counting)
+        report = engine.run(configs)
+        assert counting.calls == []
+        assert report.executed == 0
+        assert report.cache_hits == len(configs)
+        assert report.results == [
+            fake_result(scenario_to_dict(c)) for c in configs
+        ]
+        assert fresh_cache.remote.stats.hits == len(configs)
+        # ...and the remote hits were written through to the local tier.
+        local_only = ResultCache(tmp_path / "fresh-local")
+        key = scenario_hash(scenario_to_dict(configs[0]))
+        assert local_only.get(key) is not None
+
+
+def test_fleet_metrics_appear_in_prometheus_exposition(tmp_path):
+    configs = [small_config(seed=s) for s in (1, 2)]
+    with distributed_server(tmp_path) as client:
+        with WorkerFleet(
+            client.base_url, tmp_path, n=1, task_fn=CountingTask()
+        ):
+            client.fetch(client.submit(configs), timeout=60)
+        text = client.metrics_text()
+        healthz = client.health()
+    assert healthz["distributed"] is True
+    for name in (
+        "repro_service_fleet_workers",
+        "repro_service_fleet_leases_granted",
+        "repro_service_fleet_shards_completed",
+        "repro_service_cache_remote_stores",
+    ):
+        assert name in text

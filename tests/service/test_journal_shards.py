@@ -1,0 +1,96 @@
+"""Tests for the journal's distributed lease records and replay_shards."""
+
+from repro.scenarios.io import scenario_to_dict
+from repro.service.jobs import Job, JobState
+from repro.service.journal import JobJournal, replay, replay_shards
+
+from tests.service.helpers import small_config
+
+
+def _job(job_id="j1", seeds=(1,)):
+    return Job(
+        id=job_id,
+        client="c",
+        priority=0,
+        scenarios=[scenario_to_dict(small_config(seed=s)) for s in seeds],
+    )
+
+
+def _write_history(path):
+    """One job, two shards: s-a done by a first lease, s-b's first lease
+    expires and a second worker finishes it."""
+    journal = JobJournal(path)
+    job = _job("j1", seeds=(1, 2, 3, 4))
+    journal.record_submit(job)
+    journal.record_shard_plan("j1", [("s-a", ["k1", "k2"]), ("s-b", ["k3", "k4"])])
+    journal.record_lease("l-1", "s-a", "j1", "worker-a", 10.0)
+    journal.record_lease("l-2", "s-b", "j1", "worker-b", 10.0)
+    journal.record_heartbeat("l-1", 20.0)
+    journal.record_shard_done("s-a", "j1", ["k1", "k2"])
+    journal.record_lease_expired("l-2", "s-b", "j1", "worker-b")
+    journal.record_lease("l-3", "s-b", "j1", "worker-a", 30.0)
+    journal.record_shard_done("s-b", "j1", ["k3", "k4"])
+    journal.close()
+    return job
+
+
+def test_replay_shards_folds_the_lease_history(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    _write_history(path)
+    history = replay_shards(path)
+    recovery = history["j1"]
+    assert recovery.planned == {"s-a": ["k1", "k2"], "s-b": ["k3", "k4"]}
+    assert recovery.done == {"s-a", "s-b"}
+    assert recovery.leases_granted == 3
+    assert recovery.leases_expired == 1
+    assert recovery.finished_keys == {"k1", "k2", "k3", "k4"}
+
+
+def test_replay_shards_partial_history_reports_unfinished_keys(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    journal = JobJournal(path)
+    journal.record_shard_plan("j1", [("s-a", ["k1"]), ("s-b", ["k2"])])
+    journal.record_lease("l-1", "s-a", "j1", "w", 10.0)
+    journal.record_shard_done("s-a", "j1", ["k1"])
+    journal.close()
+    recovery = replay_shards(path)["j1"]
+    assert recovery.finished_keys == {"k1"}
+    assert recovery.done == {"s-a"}
+
+
+def test_replay_shards_drops_deleted_jobs_and_missing_file(tmp_path):
+    assert replay_shards(tmp_path / "absent.jsonl") == {}
+    path = tmp_path / "journal.jsonl"
+    journal = JobJournal(path)
+    journal.record_shard_plan("j1", [("s-a", ["k1"])])
+    journal.record_deleted("j1")
+    journal.close()
+    assert replay_shards(path) == {}
+
+
+def test_job_replay_ignores_lease_records(tmp_path):
+    """Lease records must not disturb job-level crash recovery."""
+    path = tmp_path / "journal.jsonl"
+    job = _write_history(path)
+    [replayed] = replay(path)
+    assert replayed.id == job.id
+    # The job never saw a terminal record: recovered as pending, with
+    # its scenarios intact despite the interleaved lease chatter.
+    assert replayed.state is JobState.PENDING
+    assert replayed.recovered
+    assert replayed.scenarios == job.scenarios
+
+
+def test_compaction_drops_lease_records(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    _write_history(path)
+    journal = JobJournal(path)
+    [survivor] = replay(path)
+    journal.compact([survivor])
+    journal.close()
+    assert replay_shards(path) == {}
+    text = path.read_text(encoding="utf-8")
+    assert '"event": "lease"' not in text
+    assert '"event": "shard_done"' not in text
+    [replayed] = replay(path)
+    assert replayed.scenarios == survivor.scenarios

@@ -1,0 +1,90 @@
+"""SSE stream robustness: client disconnects mid-job, then reconnects."""
+
+import http.client
+import time
+
+from tests.service.helpers import BlockingTask, small_config
+from tests.service.test_http import LiveServer
+
+
+def _open_event_stream(client, job_id):
+    """A raw streaming connection to /v1/jobs/<id>/events."""
+    host = client.base_url.split("://", 1)[1]
+    conn = http.client.HTTPConnection(host, timeout=10.0)
+    conn.request("GET", f"/v1/jobs/{job_id}/events")
+    response = conn.getresponse()
+    assert response.status == 200
+    assert response.headers["Content-Type"] == "text/event-stream"
+    return conn, response
+
+
+def _read_one_event(response):
+    """Read lines up to the first blank line (one SSE frame)."""
+    frame = []
+    while True:
+        line = response.fp.readline()
+        if not line:
+            return frame
+        line = line.decode("utf-8").rstrip("\n")
+        if not line:
+            return frame
+        frame.append(line)
+
+
+def test_disconnect_mid_stream_does_not_wedge_the_job():
+    """Dropping the SSE connection while the job runs must not disturb
+    execution, and a later reconnect sees the terminal state."""
+    task = BlockingTask()
+    with LiveServer(workers=1, task_fn=task) as client:
+        job_id = client.submit([small_config(seed=1)])
+        assert task.started.wait(timeout=10.0)
+
+        # Subscribe while the job is mid-flight...
+        conn, response = _open_event_stream(client, job_id)
+        first = _read_one_event(response)
+        assert any(line.startswith("event: progress") for line in first)
+        # ...and hang up without reading the rest.
+        conn.close()
+
+        # The job still finishes normally once the task is released.
+        task.release.set()
+        status = client.wait(job_id, timeout=30)
+        assert status["state"] == "done"
+
+        # A reconnect on the finished job streams straight to `done`.
+        conn, response = _open_event_stream(client, job_id)
+        events = []
+        while True:
+            frame = _read_one_event(response)
+            if not frame:
+                break
+            events.append(frame)
+            if any(line.startswith("event: done") for line in frame):
+                break
+        conn.close()
+        kinds = [
+            line.split(": ", 1)[1]
+            for frame in events
+            for line in frame
+            if line.startswith("event: ")
+        ]
+        assert kinds == ["progress", "done"]
+
+
+def test_server_survives_many_churning_subscribers():
+    """Open/close several streams in quick succession; the (threaded)
+    server must keep serving plain requests throughout."""
+    task = BlockingTask()
+    with LiveServer(workers=1, task_fn=task) as client:
+        job_id = client.submit([small_config(seed=2)])
+        assert task.started.wait(timeout=10.0)
+        for _ in range(5):
+            conn, response = _open_event_stream(client, job_id)
+            _read_one_event(response)
+            conn.close()
+            # Plain API calls keep working between churns.
+            assert client.status(job_id)["state"] == "running"
+        task.release.set()
+        assert client.wait(job_id, timeout=30)["state"] == "done"
+        # Allow the abandoned handler threads a moment to notice EOF.
+        time.sleep(0.1)
