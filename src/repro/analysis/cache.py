@@ -53,6 +53,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
+from repro.devtools.lockdep import OrderedLock, blocking
 from repro.metrics.collector import SimulationResult
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.io import scenario_canonical_json
@@ -129,15 +130,42 @@ def validate_entry(key: str, entry: Any) -> Dict[str, Any]:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/invalidation accounting for one :class:`ResultCache`."""
+    """Hit/miss/invalidation accounting for one :class:`ResultCache`.
+
+    The counters are bumped from every thread that touches the cache
+    (pool workers, HTTP handlers, the shard board), so increments go
+    through the ``record_*`` methods, serialised by a dedicated leaf
+    lock; plain attribute reads stay cheap for tests and reporting.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     invalidated: int = 0
 
+    def __post_init__(self) -> None:
+        # Rank 50: a leaf in practice — held only for the increment.
+        self._lock = OrderedLock("cache.stats", rank=50, reentrant=False)
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def record_store(self) -> None:
+        with self._lock:
+            self.stores += 1
+
+    def record_invalidated(self) -> None:
+        with self._lock:
+            self.invalidated += 1
+
     def as_dict(self) -> Dict[str, int]:
-        return dataclasses.asdict(self)
+        with self._lock:
+            return dataclasses.asdict(self)
 
 
 #: Distinguishes concurrent writers within one process; combined with the
@@ -181,14 +209,14 @@ class ResultCache:
         try:
             entry = validate_entry(key, json.loads(path.read_text()))
         except FileNotFoundError:
-            self.stats.misses += 1
+            self.stats.record_miss()
             return None
         except Exception:
             path.unlink(missing_ok=True)
-            self.stats.invalidated += 1
-            self.stats.misses += 1
+            self.stats.record_invalidated()
+            self.stats.record_miss()
             return None
-        self.stats.hits += 1
+        self.stats.record_hit()
         return entry
 
     @staticmethod
@@ -220,7 +248,7 @@ class ResultCache:
         )
         tmp.write_text(json.dumps(entry, sort_keys=True))
         os.replace(tmp, path)
-        self.stats.stores += 1
+        self.stats.record_store()
         return path
 
     def __contains__(self, key: str) -> bool:
@@ -351,15 +379,40 @@ class PruneReport:
 
 @dataclass
 class RemoteCacheStats:
-    """Hit/miss/store/error accounting for one remote cache tier."""
+    """Hit/miss/store/error accounting for one remote cache tier.
+
+    Same discipline as :class:`CacheStats`: cross-thread increments go
+    through ``record_*`` under a dedicated leaf lock.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     errors: int = 0
 
+    def __post_init__(self) -> None:
+        # Rank 52: a leaf, distinct from (and orderable after) cache.stats.
+        self._lock = OrderedLock("cache.remote", rank=52, reentrant=False)
+
+    def record_hit(self) -> None:
+        with self._lock:
+            self.hits += 1
+
+    def record_miss(self) -> None:
+        with self._lock:
+            self.misses += 1
+
+    def record_store(self) -> None:
+        with self._lock:
+            self.stores += 1
+
+    def record_error(self) -> None:
+        with self._lock:
+            self.errors += 1
+
     def as_dict(self) -> Dict[str, int]:
-        return dataclasses.asdict(self)
+        with self._lock:
+            return dataclasses.asdict(self)
 
 
 class HTTPCacheTier:
@@ -384,19 +437,22 @@ class HTTPCacheTier:
         """Fetch and validate one entry; ``None`` on miss or any failure."""
         request = urllib.request.Request(self._url(key))
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
-                entry = validate_entry(key, json.loads(response.read().decode("utf-8")))
+            with blocking("cache.remote.get"):
+                with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                    entry = validate_entry(
+                        key, json.loads(response.read().decode("utf-8"))
+                    )
         except urllib.error.HTTPError as exc:
             exc.close()
             if exc.code == 404:
-                self.stats.misses += 1
+                self.stats.record_miss()
             else:
-                self.stats.errors += 1
+                self.stats.record_error()
             return None
         except Exception:
-            self.stats.errors += 1
+            self.stats.record_error()
             return None
-        self.stats.hits += 1
+        self.stats.record_hit()
         return entry
 
     def put_entry(self, key: str, entry: Dict[str, Any]) -> bool:
@@ -409,12 +465,13 @@ class HTTPCacheTier:
             method="PUT",
         )
         try:
-            with urllib.request.urlopen(request, timeout=self.timeout):
-                pass
+            with blocking("cache.remote.put"):
+                with urllib.request.urlopen(request, timeout=self.timeout):
+                    pass
         except Exception:
-            self.stats.errors += 1
+            self.stats.record_error()
             return False
-        self.stats.stores += 1
+        self.stats.record_store()
         return True
 
 
@@ -445,7 +502,7 @@ class TieredResultCache(ResultCache):
             result = result_from_payload(entry["result"])
         except Exception:
             return None  # tier disagreement is a miss, never a crash
-        self.stats.hits += 1
+        self.stats.record_hit()
         return result
 
     def put(self, key: str, result: SimulationResult) -> Path:

@@ -9,10 +9,13 @@ sorted-code order, keeping reports byte-stable.
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterable, List, Type
+from typing import TYPE_CHECKING, Dict, Iterable, List, Type
 
 from repro.devtools.lint.context import FileContext
 from repro.devtools.lint.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (project -> context)
+    from repro.devtools.lint.project import ProjectContext
 
 
 class Rule:
@@ -42,6 +45,29 @@ class Rule:
             col=getattr(node, "col_offset", 0) + 1,
             code=self.code,
             message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that analyses the whole linted tree at once.
+
+    Project rules run exactly once per invocation over the
+    :class:`~repro.devtools.lint.project.ProjectContext` built from every
+    parsed file (``--jobs`` parallelism applies only to per-file rules);
+    their findings are still subject to each file's suppression comments.
+    """
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        return ()  # project rules never run per file
+
+    def check_project(self, project: "ProjectContext") -> Iterable[Finding]:
+        raise NotImplementedError
+
+    def project_finding(
+        self, path: str, line: int, col: int, message: str
+    ) -> Finding:
+        return Finding(
+            path=path, line=line, col=col + 1, code=self.code, message=message
         )
 
 

@@ -2,6 +2,7 @@
 
 from repro.devtools.lint.rules import (  # noqa: F401  (imported for side effects)
     cachekeys,
+    concurrency,
     determinism,
     simulation,
     tracing,

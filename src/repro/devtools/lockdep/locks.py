@@ -1,0 +1,163 @@
+""":class:`OrderedLock`: a named, rankable wrapper over threading locks.
+
+The wrapper is a drop-in replacement for ``threading.Lock``/``RLock``,
+including as the underlying lock of a ``threading.Condition`` (it
+implements the ``_release_save``/``_acquire_restore``/``_is_owned``
+protocol ``Condition.wait`` needs).  Each thread's stack of held
+``OrderedLock`` instances is maintained unconditionally; the witness
+machinery in :mod:`repro.devtools.lockdep.witness` consults it to check
+acquisition order, and stays out of the way entirely when no witness is
+active.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+_tls = threading.local()
+
+#: Pre-acquire observer, registered by :mod:`repro.devtools.lockdep.witness`
+#: at import time (avoids a locks<->witness import cycle).  Called with the
+#: lock being acquired and the thread's current held stack.
+_observer: Optional[Callable[["OrderedLock", Sequence["OrderedLock"]], None]] = None
+
+
+def set_observer(
+    observer: Callable[["OrderedLock", Sequence["OrderedLock"]], None],
+) -> None:
+    global _observer
+    _observer = observer
+
+
+def held_locks() -> List["OrderedLock"]:
+    """The current thread's stack of held ordered locks (oldest first).
+
+    The returned list is the live stack — callers must not mutate it.
+    """
+    stack: Optional[List["OrderedLock"]] = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+class OrderedLock:
+    """A named lock participating in the declared lock hierarchy.
+
+    ``rank`` is the lock's position in the documented order (see
+    ``docs/architecture.md``): a thread may only acquire an
+    ``OrderedLock`` whose rank is *strictly greater* than every ranked
+    lock it already holds.  ``rank=None`` opts out of the rank check
+    (cycle detection still applies).  ``io_lock=True`` declares an
+    I/O-serialisation lock that must be a leaf: nothing may be acquired
+    while it is held, but :func:`~repro.devtools.lockdep.blocking`
+    regions under it are legitimate (that is what it is for).
+
+    ``reentrant`` selects ``RLock`` semantics (the default — matching
+    the service layer's use).  Re-acquiring a *non*-reentrant
+    ``OrderedLock`` from the owning thread raises immediately instead of
+    deadlocking silently: the held stack makes self-deadlock detectable
+    for free.
+    """
+
+    __slots__ = ("name", "rank", "io_lock", "reentrant", "_inner")
+
+    def __init__(
+        self,
+        name: str,
+        rank: Optional[int] = None,
+        reentrant: bool = True,
+        io_lock: bool = False,
+    ) -> None:
+        self.name = name
+        self.rank = rank
+        self.io_lock = io_lock
+        self.reentrant = reentrant
+        self._inner: Any = threading.RLock() if reentrant else threading.Lock()
+
+    def __repr__(self) -> str:
+        flags = []
+        if self.rank is not None:
+            flags.append(f"rank={self.rank}")
+        if self.io_lock:
+            flags.append("io")
+        detail = f" ({', '.join(flags)})" if flags else ""
+        return f"<OrderedLock {self.name!r}{detail}>"
+
+    # -- the lock protocol ---------------------------------------------------
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        stack = held_locks()
+        reacquire = self in stack
+        if reacquire and not self.reentrant:
+            raise RuntimeError(
+                f"self-deadlock: thread already holds non-reentrant "
+                f"lock {self.name!r}"
+            )
+        if not reacquire and _observer is not None:
+            _observer(self, stack)
+        ok: bool = self._inner.acquire(blocking, timeout)
+        if ok:
+            stack.append(self)
+        return ok
+
+    def release(self) -> None:
+        stack = held_locks()
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is self:
+                del stack[index]
+                break
+        self._inner.release()
+
+    def __enter__(self) -> bool:
+        return self.acquire()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        """Best-effort "is anyone holding this" (non-blocking probe)."""
+        if self in held_locks():
+            # A probe via acquire(False) would succeed for a reentrant
+            # lock's owner and report "free"; the held stack knows better.
+            return True
+        if self._inner.acquire(False):
+            self._inner.release()
+            return False
+        return True
+
+    # -- the Condition protocol ----------------------------------------------
+    #
+    # threading.Condition(lock) calls these (when present) around wait():
+    # _release_save fully releases the lock (returning opaque state),
+    # _acquire_restore re-acquires it to the saved depth, _is_owned asks
+    # whether the calling thread holds it.  The held stack must mirror
+    # the real hold count across the wait, so the state also carries how
+    # many stack entries were dropped.
+
+    def _release_save(self) -> Tuple[Any, int]:
+        stack = held_locks()
+        count = sum(1 for held in stack if held is self)
+        stack[:] = [held for held in stack if held is not self]
+        inner = self._inner
+        if hasattr(inner, "_release_save"):
+            return inner._release_save(), count
+        inner.release()
+        return None, count
+
+    def _acquire_restore(self, state: Tuple[Any, int]) -> None:
+        inner_state, count = state
+        inner = self._inner
+        if hasattr(inner, "_acquire_restore"):
+            inner._acquire_restore(inner_state)
+        else:
+            inner.acquire()
+        held_locks().extend([self] * max(1, count))
+
+    def _is_owned(self) -> bool:
+        inner = self._inner
+        if hasattr(inner, "_is_owned"):
+            owned: bool = inner._is_owned()
+            return owned
+        return self in held_locks()

@@ -1,0 +1,201 @@
+"""The acquisition-order witness: record edges, detect violations.
+
+A :class:`Witness` owns an observed lock graph — one node per
+:class:`~repro.devtools.lockdep.locks.OrderedLock` *name*, one edge per
+"held A while acquiring B" observation — plus the list of violations it
+has seen.  Witnesses nest (each observation reaches every active one)
+and record across threads; graph state is guarded by a plain
+``threading.Lock`` so the witness itself never appears in a held stack.
+
+Violation kinds:
+
+* ``rank``      — acquired a ranked lock at or below a held lock's rank;
+* ``cycle``     — the new acquisition edge closes a cycle in the graph;
+* ``io-leaf``   — acquired a lock while holding an ``io_lock`` leaf;
+* ``blocking``  — entered a :func:`blocking` region while holding a
+  non-io lock (the runtime analogue of lint rule CONC003).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Set, Tuple
+
+from repro.devtools.lockdep.locks import OrderedLock, held_locks, set_observer
+
+ENV_VAR = "REPRO_LOCKDEP"
+
+
+def env_enabled() -> bool:
+    """True when ``REPRO_LOCKDEP`` asks for a process-wide witness."""
+    return os.environ.get(ENV_VAR, "").strip().lower() not in ("", "0", "false", "no")
+
+
+class LockOrderViolation(AssertionError):
+    """Raised by a strict witness when any violation was observed."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed breach of the declared lock discipline."""
+
+    kind: str  # rank | cycle | io-leaf | blocking
+    message: str
+    thread: str
+
+    def render(self) -> str:
+        return f"[{self.kind}] {self.message} (thread {self.thread})"
+
+
+@dataclass
+class Witness:
+    """Observed acquisition graph + violations for one witnessed region."""
+
+    edges: Dict[str, Set[str]] = field(default_factory=dict)
+    violations: List[Violation] = field(default_factory=list)
+    _guard: threading.Lock = field(default_factory=threading.Lock, repr=False)
+    _seen: Set[Tuple[str, str]] = field(default_factory=set, repr=False)
+
+    def _violate(self, kind: str, message: str) -> None:
+        key = (kind, message)
+        if key in self._seen:
+            return  # report each distinct breach once, not per iteration
+        self._seen.add(key)
+        self.violations.append(
+            Violation(kind=kind, message=message, thread=threading.current_thread().name)
+        )
+
+    def _reaches(self, src: str, dst: str) -> bool:
+        stack, visited = [src], {src}
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            for nxt in self.edges.get(node, ()):
+                if nxt not in visited:
+                    visited.add(nxt)
+                    stack.append(nxt)
+        return False
+
+    def record_acquire(
+        self, lock: OrderedLock, held: Sequence[OrderedLock]
+    ) -> None:
+        """One "about to acquire ``lock`` while holding ``held``" event."""
+        with self._guard:
+            for prior in held:
+                if prior.name == lock.name:
+                    continue
+                if prior.io_lock:
+                    self._violate(
+                        "io-leaf",
+                        f"acquired {lock.name!r} while holding io-leaf "
+                        f"lock {prior.name!r}",
+                    )
+                if (
+                    prior.rank is not None
+                    and lock.rank is not None
+                    and lock.rank <= prior.rank
+                ):
+                    self._violate(
+                        "rank",
+                        f"acquired {lock.name!r} (rank {lock.rank}) while "
+                        f"holding {prior.name!r} (rank {prior.rank}); ranks "
+                        "must strictly increase down the hierarchy",
+                    )
+                if lock.name not in self.edges.get(prior.name, set()):
+                    # A new edge: flag it if the reverse path already exists
+                    # (an edge seen before was checked when first recorded).
+                    if self._reaches(lock.name, prior.name):
+                        self._violate(
+                            "cycle",
+                            f"lock order cycle: {prior.name!r} -> {lock.name!r} "
+                            f"closes a cycle ({lock.name!r} already reaches "
+                            f"{prior.name!r} in the observed graph)",
+                        )
+                self.edges.setdefault(prior.name, set()).add(lock.name)
+
+    def record_blocking(self, label: str, held: Sequence[OrderedLock]) -> None:
+        """One "about to block on ``label`` while holding ``held``" event.
+
+        Allowed when the *innermost* held lock is an ``io_lock`` — that
+        lock exists to serialise exactly this kind of operation.  Any
+        non-io innermost hold is a violation: a blocked thread stalls
+        every other thread contending for that lock.
+        """
+        if not held:
+            return
+        innermost = held[-1]
+        if innermost.io_lock:
+            return
+        with self._guard:
+            self._violate(
+                "blocking",
+                f"blocking operation {label!r} while holding "
+                f"{innermost.name!r} (innermost of "
+                f"{[lock.name for lock in held]!r})",
+            )
+
+    def assert_clean(self) -> None:
+        if self.violations:
+            detail = "\n".join(
+                f"  - {violation.render()}" for violation in self.violations
+            )
+            raise LockOrderViolation(
+                f"lockdep witness observed {len(self.violations)} "
+                f"violation(s):\n{detail}"
+            )
+
+
+_active_guard = threading.Lock()
+_active: List[Witness] = []
+
+
+def observe_acquire(lock: OrderedLock, held: Sequence[OrderedLock]) -> None:
+    """Hook called by :meth:`OrderedLock.acquire` (no-op when inactive)."""
+    if not _active:
+        return
+    snapshot = list(held)
+    for wit in list(_active):
+        wit.record_acquire(lock, snapshot)
+
+
+set_observer(observe_acquire)
+
+
+@contextmanager
+def witness(strict: bool = True) -> Iterator[Witness]:
+    """Record and check lock discipline for the duration of the block.
+
+    ``strict=True`` raises :class:`LockOrderViolation` on exit if any
+    violation was observed; ``strict=False`` leaves inspection (the
+    ``violations`` list, the ``edges`` graph) to the caller.  Witnesses
+    nest: every active witness sees every observation.
+    """
+    wit = Witness()
+    with _active_guard:
+        _active.append(wit)
+    try:
+        yield wit
+    finally:
+        with _active_guard:
+            _active.remove(wit)
+    if strict:
+        wit.assert_clean()
+
+
+@contextmanager
+def blocking(label: str) -> Iterator[None]:
+    """Declare a blocking region (fsync, socket wait, sleep, …).
+
+    Under an active witness, entering with a non-io lock innermost on the
+    held stack records a ``blocking`` violation; with no witness this is
+    free.  The region itself always runs.
+    """
+    if _active:
+        held = list(held_locks())
+        for wit in list(_active):
+            wit.record_blocking(label, held)
+    yield

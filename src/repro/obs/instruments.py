@@ -11,6 +11,14 @@ Snapshots are flat ``{name: value}`` dicts.  Counter and histogram keys are
 :class:`repro.obs.interval.IntervalMetrics` turn consecutive snapshots into
 per-interval deltas; gauge keys are point-in-time samples and are reported
 as-is.
+
+Instruments are deliberately **lock-free**: each instance has exactly one
+writer (the simulation thread that owns the run), and cross-thread readers
+only ever see completed snapshots taken by that writer.  Keeping the hot
+path free of locks (and of the lockdep hierarchy in
+``docs/architecture.md``) is part of the determinism contract — do not add
+synchronisation here; aggregate via snapshots instead, as
+``repro.service.metrics`` does.
 """
 
 from __future__ import annotations

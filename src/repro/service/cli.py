@@ -154,6 +154,21 @@ def _build_serve_parser() -> argparse.ArgumentParser:
 
 def serve_main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_serve_parser().parse_args(argv)
+    from repro.devtools import lockdep
+
+    if not lockdep.env_enabled():
+        return _run_serve(args)
+    # REPRO_LOCKDEP=1: witness every lock acquisition for the server's
+    # whole life; any ordering/blocking violation fails the process.
+    try:
+        with lockdep.witness(strict=True):
+            return _run_serve(args)
+    except lockdep.LockOrderViolation as exc:
+        print(f"repro-serve: {exc}", file=sys.stderr, flush=True)
+        return 1
+
+
+def _run_serve(args: argparse.Namespace) -> int:
     from repro.service.core import SimulationService
     from repro.service.http import ServiceHTTPServer
 

@@ -45,6 +45,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.analysis.cache import ResultCache, scenario_hash
 from repro.analysis.runner import ProgressUpdate, SweepEngine, TaskFn
+from repro.devtools.lockdep import OrderedLock
 from repro.errors import ConfigurationError, ReproError
 from repro.metrics.collector import SimulationResult
 from repro.obs.instruments import MetricsRegistry
@@ -135,13 +136,17 @@ class SimulationService:
         self._task_fn = task_fn
         self.metrics = ServiceMetrics(registry)
         self._policy = AdmissionPolicy(max_queue_depth, max_inflight_per_client)
-        self._lock = threading.RLock()
-        self._jobs: Dict[str, Job] = {}
+        # Rank 10: the root of the lock hierarchy (docs/architecture.md);
+        # held while pushing to the queue (30), journaling (60) and
+        # notifying job conditions (35).  Reentrant: public methods call
+        # locked helpers.
+        self._lock = OrderedLock("service.jobs", rank=10)
+        self._jobs: Dict[str, Job] = {}  # guarded-by: _lock
         self._queue = JobQueue()
-        self._inflight: Dict[str, _Flight] = {}
-        self._threads: List[threading.Thread] = []
-        self._draining = False
-        self._stopped = False
+        self._inflight: Dict[str, _Flight] = {}  # guarded-by: _lock
+        self._threads: List[threading.Thread] = []  # guarded-by: _lock
+        self._draining = False  # guarded-by: _lock
+        self._stopped = False  # guarded-by: _lock
         self.started_at = time.time()
         self.distributed = distributed
         self.lease_ttl_s = lease_ttl_s
@@ -216,7 +221,13 @@ class SimulationService:
 
     @property
     def draining(self) -> bool:
-        return self._draining
+        with self._lock:
+            return self._draining
+
+    def _running(self) -> bool:
+        """Neither draining nor stopped — the loops' continue condition."""
+        with self._lock:
+            return not self._draining and not self._stopped
 
     def drain(self, grace_s: float = 30.0) -> Dict[str, int]:
         """Graceful shutdown: stop admitting, finish or checkpoint, flush.
@@ -231,8 +242,9 @@ class SimulationService:
                 return {"finished": 0, "checkpointed": 0, "pending": 0}
             self._draining = True
             self.metrics.draining.set(1)
+            threads = list(self._threads)
         deadline = time.monotonic() + max(0.0, grace_s)
-        for thread in self._threads:
+        for thread in threads:
             thread.join(timeout=max(0.0, deadline - time.monotonic()))
         finished = checkpointed = pending = 0
         with self._lock:
@@ -416,11 +428,11 @@ class SimulationService:
         )
 
     def _worker_loop(self) -> None:
-        while not self._stopped and not self._draining:
+        while self._running():
             job = self._queue.pop(timeout=0.2)
             if job is None:
                 continue
-            if self._draining or self._stopped:
+            if not self._running():
                 self._queue.push(job)  # hand back untouched; drain will keep it pending
                 break
             with self._lock:
@@ -445,11 +457,11 @@ class SimulationService:
         """Move admitted jobs from the priority queue onto the shard board."""
         board = self._board
         assert board is not None
-        while not self._stopped and not self._draining:
+        while self._running():
             job = self._queue.pop(timeout=0.2)
             if job is None:
                 continue
-            if self._draining or self._stopped:
+            if not self._running():
                 self._queue.push(job)
                 break
             with self._lock:
@@ -475,7 +487,7 @@ class SimulationService:
         board = self._board
         assert board is not None
         tick = min(1.0, max(0.05, self.lease_ttl_s / 4.0))
-        while not self._stopped and not self._draining:
+        while self._running():
             board.expire_leases(time.time())
             self.sync_fleet_metrics()
             time.sleep(tick)
@@ -495,7 +507,7 @@ class SimulationService:
     def claim_shard(self, worker: str) -> Optional[Dict[str, Any]]:
         """A worker's pull: the next shard as a claim doc, or ``None``."""
         board = self._require_board()
-        if self._draining or self._stopped:
+        if not self._running():
             return None  # drain: the fleet sees an idle queue and backs off
         lease = board.claim(worker, time.time())
         if lease is None:
@@ -554,9 +566,9 @@ class SimulationService:
             raise NotDistributedError("this service has no result cache")
         entry = self.cache.get_entry(key)
         if entry is None:
-            self.metrics.cache_remote_misses.inc()
+            self.metrics.remote_miss()
         else:
-            self.metrics.cache_remote_hits.inc()
+            self.metrics.remote_hit()
         return entry
 
     def cache_entry_put(self, key: str, entry: Dict[str, Any]) -> None:
@@ -564,7 +576,7 @@ class SimulationService:
         if self.cache is None:
             raise NotDistributedError("this service has no result cache")
         self.cache.put_entry(key, entry)
-        self.metrics.cache_remote_stores.inc()
+        self.metrics.remote_store()
 
     def _execute(self, job: Job) -> List[SimulationResult]:
         keys = [scenario_hash(payload) for payload in job.scenarios]

@@ -24,6 +24,7 @@ import uuid
 from dataclasses import asdict, dataclass, field
 from typing import Any, Dict, List, Optional
 
+from repro.devtools.lockdep import OrderedLock
 from repro.metrics.collector import SimulationResult
 
 
@@ -78,11 +79,16 @@ class Job:
     #: True when this job was reconstructed from a journal after a restart.
     recovered: bool = False
     #: Monotone change counter; bumped by :meth:`touch`.
-    version: int = 0
+    version: int = 0  # guarded-by: changed
 
     def __post_init__(self) -> None:
         self.progress.total = len(self.scenarios)
-        self.changed = threading.Condition()
+        # Rank 35: acquired while the service lock (10) is held (e.g. a
+        # checkpoint touch inside drain); never held around anything else.
+        # Every Job shares the name — jobs' conditions never nest.
+        self.changed = threading.Condition(
+            OrderedLock("service.job.changed", rank=35, reentrant=False)
+        )
 
     # -- change notification ------------------------------------------------
 
@@ -113,6 +119,8 @@ class Job:
 
     def status_dict(self) -> Dict[str, Any]:
         """The job as the HTTP status resource (no scenario/result bodies)."""
+        with self.changed:
+            version = self.version
         return {
             "id": self.id,
             "client": self.client,
@@ -126,5 +134,5 @@ class Job:
             "finished_at": self.finished_at,
             "wall_s": self.wall_s(),
             "recovered": self.recovered,
-            "version": self.version,
+            "version": version,
         }

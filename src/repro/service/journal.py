@@ -39,13 +39,13 @@ from __future__ import annotations
 
 import json
 import os
-import threading
 import time
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Set, Union
 
 from repro.analysis.cache import result_from_payload, result_to_payload
+from repro.devtools.lockdep import OrderedLock, blocking
 from repro.service.jobs import Job, JobProgress, JobState
 
 PathLike = Union[str, Path]
@@ -60,9 +60,13 @@ class JobJournal:
     def __init__(self, path: PathLike) -> None:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._lock = threading.Lock()
-        self._handle = open(self.path, "a", encoding="utf-8")
-        self._closed = False
+        # Rank 60, io_lock: the bottom of the hierarchy.  Serialising
+        # write+flush+fsync is this lock's entire job (WAL append order is
+        # the crash-recovery contract), so blocking under it is by design
+        # — and it must never be held around any other lock.
+        self._lock = OrderedLock("journal.io", rank=60, io_lock=True, reentrant=False)
+        self._handle = open(self.path, "a", encoding="utf-8")  # guarded-by: _lock
+        self._closed = False  # guarded-by: _lock
 
     # -- writing ------------------------------------------------------------
 
@@ -74,7 +78,8 @@ class JobJournal:
             self._handle.write(line + "\n")
             self._handle.flush()
             if sync:
-                os.fsync(self._handle.fileno())
+                with blocking("journal.fsync"):
+                    os.fsync(self._handle.fileno())
 
     def record_submit(self, job: Job) -> None:
         self._append(
@@ -208,7 +213,8 @@ class JobJournal:
             if self._closed:
                 return
             self._handle.flush()
-            os.fsync(self._handle.fileno())
+            with blocking("journal.fsync"):
+                os.fsync(self._handle.fileno())
             self._handle.close()
             self._closed = True
 
@@ -269,7 +275,8 @@ class JobJournal:
                     if terminal is not None:
                         out.write(json.dumps(terminal, sort_keys=True) + "\n")
                 out.flush()
-                os.fsync(out.fileno())
+                with blocking("journal.fsync"):
+                    os.fsync(out.fileno())
             self._handle.close()
             os.replace(tmp, self.path)
             self._handle = open(self.path, "a", encoding="utf-8")

@@ -27,7 +27,6 @@ never calls back into the service; callers finish the jobs that
 
 from __future__ import annotations
 
-import threading
 import uuid
 from collections import deque
 from dataclasses import dataclass, field
@@ -35,6 +34,7 @@ from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.cache import ResultCache, scenario_hash
 from repro.analysis.runner import estimate_cost, grid_point_key
+from repro.devtools.lockdep import OrderedLock
 from repro.errors import ReproError
 from repro.metrics.collector import SimulationResult
 from repro.service.jobs import Job
@@ -147,16 +147,19 @@ class ShardBoard:
         self.shard_size = shard_size
         self.seed_batch = seed_batch
         self.lease_ttl_s = lease_ttl_s
-        self._lock = threading.Lock()
-        self._results: Dict[str, SimulationResult] = {}  # session memo
-        self._shards: Dict[str, Shard] = {}
-        self._queue: Deque[str] = deque()  # pending shard ids
-        self._leases: Dict[str, Lease] = {}  # active only
-        self._lease_shard: Dict[str, str] = {}  # every lease ever granted
-        self._entries: Dict[str, _JobEntry] = {}
-        self._waiters: Dict[str, List[str]] = {}  # key -> job ids awaiting it
-        self._owner: Dict[str, str] = {}  # key -> in-flight shard id
-        self._workers_seen: Dict[str, float] = {}  # worker id -> last contact
+        # Rank 20: below the service lock (complete_shard runs under it via
+        # the HTTP layer's service calls), above the journal/cache locks it
+        # holds while journaling leases and resolving results.
+        self._lock = OrderedLock("service.board", rank=20, reentrant=False)
+        self._results: Dict[str, SimulationResult] = {}  # guarded-by: _lock
+        self._shards: Dict[str, Shard] = {}  # guarded-by: _lock
+        self._queue: Deque[str] = deque()  # guarded-by: _lock
+        self._leases: Dict[str, Lease] = {}  # guarded-by: _lock
+        self._lease_shard: Dict[str, str] = {}  # guarded-by: _lock
+        self._entries: Dict[str, _JobEntry] = {}  # guarded-by: _lock
+        self._waiters: Dict[str, List[str]] = {}  # guarded-by: _lock
+        self._owner: Dict[str, str] = {}  # guarded-by: _lock
+        self._workers_seen: Dict[str, float] = {}  # guarded-by: _lock
         # Lifetime counters, surfaced as fleet metrics.
         self.leases_granted = 0
         self.leases_expired = 0

@@ -11,9 +11,9 @@ exposition: one ``name value`` line per snapshot key, names sanitised to
 from __future__ import annotations
 
 import re
-import threading
 from typing import Dict, Optional
 
+from repro.devtools.lockdep import OrderedLock
 from repro.obs.instruments import Counter, Gauge, Histogram, MetricsRegistry
 
 #: Wall-time buckets for one job, in seconds: sub-second cache hits up to
@@ -63,8 +63,10 @@ class ServiceMetrics:
             "shards_completed": reg.counter("service.fleet.shards_completed"),
             "heartbeats": reg.counter("service.fleet.heartbeats"),
         }
-        self._fleet_last: Dict[str, int] = {}
-        self._fleet_lock = threading.Lock()
+        self._fleet_last: Dict[str, int] = {}  # guarded-by: _lock
+        # Rank 40: below the service/board locks (metrics are synced while
+        # they are held), above the cache-stats locks.  Leaf in practice.
+        self._lock = OrderedLock("service.metrics", rank=40, reentrant=False)
         # The remote cache tier, as served by this coordinator.
         self.cache_remote_hits: Counter = reg.counter("service.cache.remote_hits")
         self.cache_remote_misses: Counter = reg.counter("service.cache.remote_misses")
@@ -75,9 +77,22 @@ class ServiceMetrics:
         self.jobs_pending.set(pending)
         self.jobs_running.set(running)
 
+    def remote_hit(self) -> None:
+        """A remote-tier cache hit (serialised: HTTP threads race here)."""
+        with self._lock:
+            self.cache_remote_hits.inc()
+
+    def remote_miss(self) -> None:
+        with self._lock:
+            self.cache_remote_misses.inc()
+
+    def remote_store(self) -> None:
+        with self._lock:
+            self.cache_remote_stores.inc()
+
     def sync_fleet(self, counts: Dict[str, int]) -> None:
         """Fold a shard-board :meth:`~…ShardBoard.counts` snapshot in."""
-        with self._fleet_lock:
+        with self._lock:
             self.fleet_workers.set(counts.get("workers_connected", 0))
             self.fleet_leases_active.set(counts.get("leases_active", 0))
             self.fleet_shards_pending.set(counts.get("shards_pending", 0))

@@ -18,6 +18,7 @@ import itertools
 import threading
 from typing import Dict, List, Optional, Tuple
 
+from repro.devtools.lockdep import OrderedLock
 from repro.errors import ReproError
 from repro.service.jobs import Job, JobState
 
@@ -70,9 +71,11 @@ class JobQueue:
     """
 
     def __init__(self) -> None:
-        self._heap: List[Tuple[int, int, Job]] = []
+        self._heap: List[Tuple[int, int, Job]] = []  # guarded-by: _lock
         self._seq = itertools.count()
-        self._lock = threading.Lock()
+        # Rank 30: pushed to while the service lock (10) is held; holds
+        # nothing below it.  Non-reentrant — push/pop never self-nest.
+        self._lock = OrderedLock("service.queue", rank=30, reentrant=False)
         self._not_empty = threading.Condition(self._lock)
 
     def push(self, job: Job) -> None:

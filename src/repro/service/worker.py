@@ -276,6 +276,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    from repro.devtools import lockdep
+
+    if not lockdep.env_enabled():
+        return _run_worker(args)
+    # REPRO_LOCKDEP=1: witness the worker's lock discipline end to end.
+    try:
+        with lockdep.witness(strict=True):
+            return _run_worker(args)
+    except lockdep.LockOrderViolation as exc:
+        print(f"repro-worker: {exc}", file=sys.stderr, flush=True)
+        return 1
+
+
+def _run_worker(args: argparse.Namespace) -> int:
     worker_id = args.worker_id or default_worker_id()
     client = ServiceClient(args.url, client_id=worker_id, timeout=args.timeout)
     worker = ShardWorker(

@@ -1,0 +1,21 @@
+"""CONC001 positive fixture: guarded fields read without their lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._last = None  # guarded-by: _lock
+
+    def add(self, amount):
+        with self._lock:
+            self._total += amount
+            self._last = amount
+
+    def peek(self):
+        return self._total  # inferred guard (written under _lock in add)
+
+    def last(self):
+        return self._last  # declared guard via the guarded-by comment

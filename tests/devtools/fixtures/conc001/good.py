@@ -1,0 +1,27 @@
+"""CONC001 clean fixture: every guarded access holds the lock."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+        self._last = None  # guarded-by: _lock
+
+    def add(self, amount):
+        with self._lock:
+            self._total += amount
+            self._last = amount
+
+    def peek(self):
+        with self._lock:
+            return self._total
+
+    def last(self):
+        with self._lock:
+            return self._last
+
+    def _snapshot_locked(self):
+        # The *_locked naming convention: the caller holds self._lock.
+        return (self._total, self._last)

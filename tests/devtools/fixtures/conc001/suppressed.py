@@ -1,0 +1,17 @@
+"""CONC001 suppression fixture: a justified racy read."""
+
+import threading
+
+
+class Counter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._total = 0
+
+    def add(self, amount):
+        with self._lock:
+            self._total += amount
+
+    def peek(self):
+        # Monitoring-only: a stale int is acceptable, tearing is impossible.
+        return self._total  # repro-lint: disable=CONC001 -- approximate gauge read

@@ -1,0 +1,19 @@
+"""CONC002 positive fixture: two locks taken in both orders."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._audit = threading.Lock()
+
+    def debit(self):
+        with self._accounts:
+            with self._audit:
+                pass
+
+    def log_then_debit(self):
+        with self._audit:
+            with self._accounts:
+                pass

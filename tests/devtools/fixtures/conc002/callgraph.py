@@ -1,0 +1,22 @@
+"""CONC002 via the call graph: the inversion hides one call deep."""
+
+import threading
+
+
+class Pipeline:
+    def __init__(self):
+        self._stage = threading.Lock()
+        self._sink = threading.Lock()
+
+    def push(self):
+        with self._stage:
+            self._flush()  # acquires _sink while _stage is held
+
+    def _flush(self):
+        with self._sink:
+            pass
+
+    def rewind(self):
+        with self._sink:
+            with self._stage:
+                pass

@@ -1,0 +1,31 @@
+"""CONC002 across classes: each side holds its own lock, calls the other."""
+
+import threading
+
+
+class Left:
+    def __init__(self, peer: "Right"):
+        self._lock = threading.Lock()
+        self.peer = peer
+
+    def poke(self):
+        with self._lock:
+            self.peer.receive()
+
+    def receive(self):
+        with self._lock:
+            pass
+
+
+class Right:
+    def __init__(self, peer: Left):
+        self._lock = threading.Lock()
+        self.peer = peer
+
+    def poke(self):
+        with self._lock:
+            self.peer.receive()
+
+    def receive(self):
+        with self._lock:
+            pass

@@ -1,0 +1,19 @@
+"""CONC002 suppression fixture: an inversion argued unreachable."""
+
+import threading
+
+
+class Transfer:
+    def __init__(self):
+        self._accounts = threading.Lock()
+        self._audit = threading.Lock()
+
+    def debit(self):
+        with self._accounts:
+            with self._audit:  # repro-lint: disable=CONC002 -- debit and replay never run concurrently (replay is startup-only, single-threaded)
+                pass
+
+    def replay(self):
+        with self._audit:
+            with self._accounts:
+                pass

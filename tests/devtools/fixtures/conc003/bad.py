@@ -1,0 +1,24 @@
+"""CONC003 positive fixture: blocking calls with a lock held."""
+
+import time
+import threading
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def tick(self):
+        with self._lock:
+            time.sleep(0.1)  # every other tick() caller stalls behind this
+
+    def settle(self):
+        with self._lock:
+            self._backoff()  # blocks transitively: _backoff sleeps
+
+    def _backoff(self):
+        time.sleep(0.5)
+
+    def _report_locked(self):
+        # *_locked convention: runs with the class lock held by the caller.
+        time.sleep(0.1)

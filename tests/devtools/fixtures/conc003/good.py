@@ -1,0 +1,30 @@
+"""CONC003 clean fixture: block outside the lock, or under an io leaf."""
+
+import os
+import time
+import threading
+
+from repro.devtools.lockdep import OrderedLock
+
+
+class Poller:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._pending = 0
+
+    def tick(self):
+        with self._lock:
+            self._pending += 1
+        time.sleep(0.1)  # lock released first
+
+
+class Journal:
+    def __init__(self, handle):
+        # An io leaf: serialising this fsync is the lock's entire job.
+        self._io = OrderedLock("fixture.journal", rank=90, io_lock=True)
+        self._handle = handle
+
+    def append(self, line):
+        with self._io:
+            self._handle.write(line)
+            os.fsync(self._handle.fileno())

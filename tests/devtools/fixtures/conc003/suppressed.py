@@ -1,0 +1,14 @@
+"""CONC003 suppression fixture: a justified bounded sleep under a lock."""
+
+import time
+import threading
+
+
+class Calibrator:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def settle(self):
+        with self._lock:
+            # Hardware settle time; single-threaded calibration path.
+            time.sleep(0.001)  # repro-lint: disable=CONC003 -- 1ms settle, calibration runs before any worker starts

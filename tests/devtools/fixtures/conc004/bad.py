@@ -1,0 +1,14 @@
+"""CONC004 positive fixture: check-then-set lazy init outside the lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._backend = None
+
+    def backend(self):
+        if self._backend is None:
+            self._backend = object()  # two threads can both see None
+        return self._backend

@@ -1,0 +1,15 @@
+"""CONC004 clean fixture: double-checked init under the lock."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._backend = None
+
+    def backend(self):
+        with self._lock:
+            if self._backend is None:
+                self._backend = object()
+            return self._backend

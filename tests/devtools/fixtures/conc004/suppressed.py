@@ -1,0 +1,15 @@
+"""CONC004 suppression fixture: init before threads exist."""
+
+import threading
+
+
+class Registry:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._backend = None
+
+    def warm(self):
+        # Called once from main() before the pool starts.
+        if self._backend is None:  # repro-lint: disable=CONC004 -- warm() runs single-threaded at startup
+            self._backend = object()
+        return self._backend

@@ -1,0 +1,292 @@
+"""Unit tests for the project-level concurrency rules (CONC001-CONC004)."""
+
+from pathlib import Path
+
+from repro.devtools.lint.project import ProjectContext
+from repro.devtools.lint.runner import lint_paths, lint_source, select_rules
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+def _lint(source, code, path=Path("module.py")):
+    return lint_source(source, path, rules=select_rules(select=[code]))
+
+
+class TestGuardInference:
+    def test_write_under_lock_establishes_the_guard(self):
+        source = """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def bump(self):
+        with self._lock:
+            self._n += 1
+
+    def peek(self):
+        return self._n
+"""
+        findings = _lint(source, "CONC001")
+        assert len(findings) == 1
+        assert "C._n is read without holding self._lock" in findings[0].message
+        assert "written under it in bump()" in findings[0].message
+
+    def test_declared_guard_wins_over_inference(self):
+        source = """
+import threading
+
+class C:
+    def __init__(self):
+        self._a = threading.Lock()
+        self._b = threading.Lock()
+        self._n = 0  # guarded-by: _b
+
+    def bump(self):
+        with self._a:
+            self._n += 1
+"""
+        findings = _lint(source, "CONC001")
+        assert len(findings) == 1
+        assert "holding self._b" in findings[0].message
+        assert "declared" in findings[0].message
+
+    def test_init_and_locked_helpers_are_exempt(self):
+        source = """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._n = 0
+
+    def bump(self):
+        with self._lock:
+            self._n += 1
+
+    def _sum_locked(self):
+        return self._n
+"""
+        assert _lint(source, "CONC001") == []
+
+    def test_unguarded_fields_are_free(self):
+        source = """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.label = "x"
+
+    def rename(self, label):
+        self.label = label  # never written under the lock: no guard
+
+    def read(self):
+        return self.label
+"""
+        assert _lint(source, "CONC001") == []
+
+    def test_condition_alias_counts_as_the_same_lock(self):
+        source = """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._items = []
+
+    def put(self, item):
+        with self._ready:
+            self._items.append(item)
+            self._ready.notify()
+
+    def drain(self):
+        with self._lock:
+            items, self._items = self._items, []
+            return items
+"""
+        assert _lint(source, "CONC001") == []
+
+
+class TestLockOrderCycles:
+    def test_callgraph_cycle_is_found(self):
+        result = lint_paths(
+            [FIXTURES / "conc002" / "callgraph.py"], select=["CONC002"]
+        )
+        assert len(result.findings) == 1
+        message = result.findings[0].message
+        assert "Pipeline._sink" in message and "Pipeline._stage" in message
+
+    def test_crossclass_cycle_is_found(self):
+        result = lint_paths(
+            [FIXTURES / "conc002" / "crossclass.py"], select=["CONC002"]
+        )
+        assert result.findings
+        message = result.findings[0].message
+        assert "Left._lock" in message and "Right._lock" in message
+
+    def test_consistent_order_across_classes_is_clean(self):
+        source = """
+import threading
+
+class Inner:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def poke(self):
+        with self._lock:
+            pass
+
+class Outer:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.inner = Inner()
+
+    def poke(self):
+        with self._lock:
+            self.inner.poke()
+"""
+        assert _lint(source, "CONC002") == []
+
+    def test_finding_is_deterministic(self):
+        path = FIXTURES / "conc002" / "bad.py"
+        first = lint_paths([path], select=["CONC002"]).findings
+        second = lint_paths([path], select=["CONC002"]).findings
+        assert first == second
+
+
+class TestBlockingUnderLock:
+    def test_io_leaf_lock_permits_its_io(self):
+        result = lint_paths([FIXTURES / "conc003" / "good.py"], select=["CONC003"])
+        assert result.clean
+
+    def test_transitive_blocking_is_flagged_at_the_call_site(self):
+        result = lint_paths([FIXTURES / "conc003" / "bad.py"], select=["CONC003"])
+        messages = [finding.message for finding in result.findings]
+        assert any("self._backoff()" in message for message in messages)
+        assert any("_report_locked" in message for message in messages)
+
+    def test_blocking_queue_get_is_flagged(self):
+        source = """
+import queue
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._q = queue.Queue()
+
+    def take(self):
+        with self._lock:
+            return self._q.get()
+"""
+        findings = _lint(source, "CONC003")
+        assert len(findings) == 1
+        assert "get" in findings[0].message
+
+    def test_nonblocking_queue_get_is_clean(self):
+        source = """
+import queue
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._q = queue.Queue()
+
+    def take(self):
+        with self._lock:
+            return self._q.get(timeout=0.1)
+
+    def take_nowait(self):
+        with self._lock:
+            return self._q.get_nowait()
+"""
+        assert _lint(source, "CONC003") == []
+
+
+class TestLazyInit:
+    def test_not_pattern_is_flagged(self):
+        source = """
+import threading
+
+class C:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._cache = None
+
+    def cache(self):
+        if not self._cache:
+            self._cache = {}
+        return self._cache
+"""
+        findings = _lint(source, "CONC004")
+        assert len(findings) == 1
+        assert "C._cache" in findings[0].message
+
+    def test_lockless_class_is_not_conc004s_business(self):
+        source = """
+class C:
+    def __init__(self):
+        self._cache = None
+
+    def cache(self):
+        if self._cache is None:
+            self._cache = {}
+        return self._cache
+"""
+        assert _lint(source, "CONC004") == []
+
+
+class TestProjectContext:
+    def test_acquisition_edges_cross_files(self, tmp_path):
+        (tmp_path / "a.py").write_text(
+            """
+import threading
+
+class Sink:
+    def __init__(self):
+        self._lock = threading.Lock()
+
+    def flush(self):
+        with self._lock:
+            pass
+"""
+        )
+        (tmp_path / "b.py").write_text(
+            """
+import threading
+from a import Sink
+
+class Source:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.sink = Sink()
+
+    def push(self):
+        with self._lock:
+            self.sink.flush()
+"""
+        )
+        result = lint_paths([tmp_path], select=["CONC002"])
+        assert result.clean  # consistent order: Source -> Sink, never back
+
+    def test_project_context_models_both_classes(self):
+        sources = [
+            (
+                Path("x.py"),
+                "import threading\n"
+                "class A:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n",
+            ),
+            (Path("y.py"), "class B:\n    pass\n"),
+        ]
+        project = ProjectContext.from_sources(sources)
+        names = sorted(model.name for model in project.iter_class_models())
+        assert names == ["A", "B"]
+        (model_a,) = project.classes_by_name["A"]
+        assert set(model_a.locks) == {"_lock"}

@@ -1,0 +1,173 @@
+"""Tests for the runtime lock-order witness (repro.devtools.lockdep)."""
+
+import threading
+
+import pytest
+
+from repro.devtools.lockdep import (
+    LockOrderViolation,
+    OrderedLock,
+    blocking,
+    env_enabled,
+    held_locks,
+    witness,
+)
+
+
+class TestOrderedLock:
+    def test_context_manager_and_held_stack(self):
+        lock = OrderedLock("t.a", rank=1)
+        assert held_locks() == []
+        with lock:
+            assert held_locks() == [lock]
+            assert lock.locked()
+        assert held_locks() == []
+        assert not lock.locked()
+
+    def test_reentrant_by_default(self):
+        lock = OrderedLock("t.re", rank=1)
+        with lock:
+            with lock:
+                # The held stack mirrors the hold *count*, not the set.
+                assert held_locks() == [lock, lock]
+            assert lock.locked()
+        assert held_locks() == []
+
+    def test_non_reentrant_self_deadlock_is_an_error(self):
+        lock = OrderedLock("t.plain", rank=1, reentrant=False)
+        with lock:
+            with pytest.raises(RuntimeError, match="t.plain"):
+                lock.acquire()
+
+    def test_works_as_condition_lock(self):
+        ready = threading.Condition(OrderedLock("t.cond", rank=1, reentrant=False))
+        box = []
+
+        def producer():
+            with ready:
+                box.append("x")
+                ready.notify()
+
+        thread = threading.Thread(target=producer)
+        with ready:
+            thread.start()
+            got = ready.wait_for(lambda: box, timeout=5.0)
+        thread.join()
+        assert got and box == ["x"]
+
+
+class TestWitness:
+    def test_clean_nesting_in_rank_order(self):
+        outer, inner = OrderedLock("t.outer", rank=1), OrderedLock("t.inner", rank=2)
+        with witness(strict=True) as wit:
+            with outer:
+                with inner:
+                    pass
+        assert wit.violations == []
+        assert wit.edges == {"t.outer": {"t.inner"}}
+
+    def test_rank_inversion_is_flagged(self):
+        outer, inner = OrderedLock("t.hi", rank=2), OrderedLock("t.lo", rank=1)
+        with witness(strict=False) as wit:
+            with outer:
+                with inner:
+                    pass
+        kinds = {violation.kind for violation in wit.violations}
+        assert "rank" in kinds
+
+    def test_two_thread_ab_ba_inversion_is_a_cycle(self):
+        """The classic deadlock shape, caught even though this run survives."""
+        a, b = OrderedLock("t.ab.a"), OrderedLock("t.ab.b")
+
+        def ab():
+            with a:
+                with b:
+                    pass
+
+        def ba():
+            with b:
+                with a:
+                    pass
+
+        with witness(strict=False) as wit:
+            # Run the two orders sequentially: the witness's edge graph
+            # persists, so the inversion is caught without any risk of the
+            # test itself deadlocking on an unlucky interleaving.
+            for target in (ab, ba):
+                thread = threading.Thread(target=target)
+                thread.start()
+                thread.join()
+        assert any(violation.kind == "cycle" for violation in wit.violations)
+        assert "t.ab" in wit.violations[-1].render()
+
+    def test_io_lock_must_be_a_leaf(self):
+        io = OrderedLock("t.io", io_lock=True)
+        other = OrderedLock("t.other")
+        with witness(strict=False) as wit:
+            with io:
+                with other:
+                    pass
+        assert any(violation.kind == "io-leaf" for violation in wit.violations)
+
+    def test_strict_witness_raises(self):
+        outer, inner = OrderedLock("t.s.hi", rank=2), OrderedLock("t.s.lo", rank=1)
+        with pytest.raises(LockOrderViolation, match="t.s.lo"):
+            with witness(strict=True):
+                with outer:
+                    with inner:
+                        pass
+
+    def test_duplicate_violations_reported_once(self):
+        outer, inner = OrderedLock("t.d.hi", rank=2), OrderedLock("t.d.lo", rank=1)
+        with witness(strict=False) as wit:
+            for _ in range(5):
+                with outer:
+                    with inner:
+                        pass
+        assert len([v for v in wit.violations if v.kind == "rank"]) == 1
+
+
+class TestBlocking:
+    def test_blocking_under_plain_lock_is_flagged(self):
+        lock = OrderedLock("t.b.plain")
+        with witness(strict=False) as wit:
+            with lock:
+                with blocking("fake.sleep"):
+                    pass
+        assert [violation.kind for violation in wit.violations] == ["blocking"]
+        assert "fake.sleep" in wit.violations[0].message
+
+    def test_blocking_under_io_leaf_is_the_point(self):
+        io = OrderedLock("t.b.io", io_lock=True)
+        with witness(strict=True) as wit:
+            with io:
+                with blocking("fake.fsync"):
+                    pass
+        assert wit.violations == []
+
+    def test_blocking_with_nothing_held_is_free(self):
+        with witness(strict=True):
+            with blocking("fake.wait"):
+                pass
+
+    def test_no_witness_means_no_overhead_path(self):
+        lock = OrderedLock("t.b.none")
+        with lock:
+            with blocking("fake.io"):  # no active witness: nothing recorded
+                pass
+
+
+class TestEnvEnabled:
+    @pytest.mark.parametrize("value", ["1", "true", "yes", "on"])
+    def test_truthy(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKDEP", value)
+        assert env_enabled()
+
+    @pytest.mark.parametrize("value", ["", "0", "false", "no", " 0 "])
+    def test_falsy(self, value, monkeypatch):
+        monkeypatch.setenv("REPRO_LOCKDEP", value)
+        assert not env_enabled()
+
+    def test_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOCKDEP", raising=False)
+        assert not env_enabled()

@@ -20,6 +20,10 @@ CASES = [
     ("SIM001", FIXTURES / "sim001", None),
     ("API001", FIXTURES / "api001", None),
     ("CACHE001", CACHE_PROJECT / "analysis", CACHE_PROJECT),
+    ("CONC001", FIXTURES / "conc001", None),
+    ("CONC002", FIXTURES / "conc002", None),
+    ("CONC003", FIXTURES / "conc003", None),
+    ("CONC004", FIXTURES / "conc004", None),
 ]
 
 IDS = [code for code, _, _ in CASES]
