@@ -3,10 +3,11 @@
 Usage::
 
     PYTHONPATH=src python benchmarks/record_obs_bench.py [--repeats N]
+    PYTHONPATH=src python benchmarks/record_obs_bench.py --mode fleet
 
-Runs the scaled pause-0 scenario (the repo's standard full-run workload)
-under increasing levels of observation and records the wall time of each
-mode, best of N:
+``--mode sim`` (the default) runs the scaled pause-0 scenario (the
+repo's standard full-run workload) under increasing levels of
+observation and records the wall time of each mode, best of N:
 
 * **plain** — no observability objects at all (the baseline);
 * **obs_off** — an `Observability()` facade attached with nothing
@@ -26,12 +27,21 @@ Two gates make this a regression test, not just a stopwatch:
 
 The enabled modes' overheads are recorded for tracking but not gated:
 they do real extra work by design and their cost is hardware-dependent.
+
+``--mode fleet`` measures the *fleet tracing* layer instead: a
+coordination-dominated service job (many trivial tasks, so the service
+machinery is the whole wall) run three ways — no tracer at all, a
+disabled :class:`~repro.obs.fleet.FleetTracer`, and tracing on.  Gates:
+job results identical across the three, and the **disabled** tracer's
+overhead versus no-tracer stays under 2 %.  The fleet section merges
+into the same BENCH_obs.json next to the sim report.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import statistics
 import sys
 import time
 from pathlib import Path
@@ -92,15 +102,202 @@ def _best_of(fn, repeats: int):
     return best, result
 
 
+# -- fleet tracing mode ------------------------------------------------------
+
+FLEET_SCENARIOS = 1000
+# A host's CPU-time noise floor is a few percent per run and drifts
+# slowly; many short, tightly paired iterations let the trimmed-mean
+# estimator resolve a 2% gate that a best-of-a-few cannot.
+FLEET_MIN_REPEATS = 36
+
+
+def _fleet_task(payload):
+    """A trivial deterministic task: the service machinery IS the wall."""
+    from repro.metrics.collector import SimulationResult
+
+    seed = int(payload["seed"])
+    return SimulationResult(
+        duration=float(payload["duration"]),
+        data_sent=100 + seed,
+        data_received=90 + seed,
+        duplicate_deliveries=0,
+        delay_sum=0.5 * seed,
+        mac_control_tx=10,
+        routing_tx=20 + seed,
+        data_tx=200,
+        mac_failures=0,
+        ifq_drops=0,
+        rreq_sent=5,
+        replies_received=4,
+        good_replies=4,
+        cache_replies_received=1,
+        replies_sent_from_cache=1,
+        replies_sent_from_target=3,
+        cache_hits=2,
+        invalid_cache_hits=0,
+        link_breaks=1,
+        salvages=0,
+        throughput_kbps=8.0 + seed,
+    )
+
+
+def _fleet_payloads():
+    from repro.scenarios.config import ScenarioConfig
+    from repro.scenarios.io import scenario_to_dict
+
+    return [
+        scenario_to_dict(
+            ScenarioConfig(
+                num_nodes=10,
+                field_width=500.0,
+                field_height=300.0,
+                duration=12.0,
+                num_sessions=3,
+                pause_time=0.0,
+                seed=seed,
+            )
+        )
+        for seed in range(1, FLEET_SCENARIOS + 1)
+    ]
+
+
+def _run_fleet_once(tracer_factory, payloads):
+    """One service job over trivial tasks; returns (cpu_s, wall_s, results).
+
+    Serial worker, no result cache: the job is the queue/dispatch/trace
+    machinery and nothing else, and ``time.process_time`` (CPU across
+    all threads) stays steady where wall clock jitters on a busy host.
+    GC is fenced out of the timed region — its pauses land on whichever
+    mode happens to trip the threshold.
+    """
+    import gc
+
+    from repro.service.core import SimulationService
+
+    service = SimulationService(
+        workers=1, task_fn=_fleet_task, tracer=tracer_factory()
+    )
+    service.start()
+    gc.collect()
+    gc.disable()
+    try:
+        wall_start = time.perf_counter()
+        cpu_start = time.process_time()
+        job = service.submit([dict(payload) for payload in payloads])
+        service.wait(job.id, timeout=300.0)
+        cpu = time.process_time() - cpu_start
+        wall = time.perf_counter() - wall_start
+        results = service.job_results(job.id)
+    finally:
+        gc.enable()
+        service.drain(grace_s=10.0)
+    return cpu, wall, results
+
+
+def _fleet_report(repeats: int):
+    from repro.obs.fleet import FleetTracer
+
+    modes = [
+        ("untraced", lambda: None),
+        ("trace_off", lambda: FleetTracer(proc="bench", enabled=False)),
+        ("trace_on", lambda: FleetTracer(proc="bench")),
+    ]
+    payloads = _fleet_payloads()
+    cpus = {}
+    walls = {}
+    results = {}
+    ratios = {name: [] for name, _ in modes if name != "untraced"}
+    _run_fleet_once(lambda: None, payloads)  # warmup: imports, allocator
+    # Pair each traced run with the untraced run from the same iteration
+    # (paired CPU ratios cancel host drift a best-of-N cannot), and
+    # rotate the in-iteration order so the systematic back-to-back-run
+    # slowdown lands on every mode equally.  A multiple of len(modes)
+    # iterations keeps the rotation balanced; the trimmed mean then
+    # cancels the positional bias to first order.
+    iterations = -(-max(repeats, FLEET_MIN_REPEATS) // len(modes)) * len(modes)
+    for index in range(iterations):
+        iteration = {}
+        order = modes[index % len(modes):] + modes[: index % len(modes)]
+        for name, factory in order:
+            cpu, wall, res = _run_fleet_once(factory, payloads)
+            iteration[name] = cpu
+            cpus[name] = min(cpus.get(name, cpu), cpu)
+            walls[name] = min(walls.get(name, wall), wall)
+            results[name] = res
+        for name in ratios:
+            ratios[name].append(iteration[name] / iteration["untraced"])
+    for name, _factory in modes:
+        print(f"{name:<12} cpu {cpus[name]:.3f} s   wall {walls[name]:.3f} s")
+
+    baseline = results["untraced"]
+    for name, result in results.items():
+        if result != baseline:
+            raise SystemExit(
+                f"fleet mode {name!r} changed job results — tracing must "
+                "never touch simulation output"
+            )
+    def _trimmed_mean(values):
+        trim = len(values) // 6  # drop the noisiest ~17% from each tail
+        middle = sorted(values)[trim:-trim] if trim else sorted(values)
+        return statistics.fmean(middle)
+
+    overheads = {
+        name: round(100.0 * (_trimmed_mean(values) - 1.0), 2)
+        for name, values in ratios.items()
+    }
+    if overheads["trace_off"] >= DISABLED_BUDGET_PCT:
+        raise SystemExit(
+            f"disabled-tracer overhead {overheads['trace_off']:.2f}% "
+            f"exceeds the {DISABLED_BUDGET_PCT}% budget"
+        )
+    return {
+        "benchmark": (
+            f"fleet tracing overhead ({FLEET_SCENARIOS} trivial tasks, "
+            "serial dispatch, no cache)"
+        ),
+        "repeats": iterations,
+        "cpu_s": {name: round(cpu, 3) for name, cpu in cpus.items()},
+        "wall_s": {name: round(wall, 3) for name, wall in walls.items()},
+        "overhead_pct_vs_untraced": overheads,
+        "disabled_budget_pct": DISABLED_BUDGET_PCT,
+        "results_identical_across_modes": True,
+        "note": (
+            "overheads are the trimmed mean of per-iteration paired CPU "
+            "ratios under a rotated mode order: trace_off is gated (<2%) — "
+            "a constructed-but-disabled FleetTracer may not tax the "
+            "dispatch path; trace_on does real span bookkeeping and is "
+            "tracked, not gated."
+        ),
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--repeats", type=int, default=3, help="best-of-N walls")
+    parser.add_argument(
+        "--mode",
+        choices=("sim", "fleet"),
+        default="sim",
+        help="sim: per-run observability overhead (default); "
+        "fleet: service tracing overhead",
+    )
     parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_obs.json",
     )
     args = parser.parse_args()
+
+    if args.mode == "fleet":
+        report = _fleet_report(args.repeats)
+        doc = {}
+        if args.output.exists():
+            doc = json.loads(args.output.read_text())
+        doc["fleet"] = report
+        args.output.write_text(json.dumps(doc, indent=2) + "\n")
+        print(json.dumps(report["overhead_pct_vs_untraced"], indent=2))
+        print(f"wrote {args.output}")
+        return
 
     import tempfile
 
@@ -157,6 +354,10 @@ def main() -> None:
             "work and are tracked, not gated."
         ),
     }
+    if args.output.exists():
+        previous = json.loads(args.output.read_text())
+        if "fleet" in previous:
+            report["fleet"] = previous["fleet"]
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(overheads, indent=2))
     print(f"wrote {args.output}")

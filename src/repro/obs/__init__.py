@@ -13,19 +13,36 @@ bit-identical with observability on or off (pinned by
   depth...), exportable to JSONL/CSV.
 * :class:`EngineProfiler` / :class:`ProfileReport` — wall-clock
   attribution per event callback and component.
-* :class:`FlightRecorder` — bounded ring of recent trace records, dumped
-  on demand or on a propagating exception.
+* :class:`FlightRecorder` / :class:`FlightRecordingTaskFn` — bounded ring
+  of recent trace records, dumped on demand or on a propagating
+  exception; the task-fn form arms one per simulation for
+  ``repro-worker``/``repro-serve`` post-mortems.
 * :class:`Observability` — one-call wiring of the above over a
   ``SimulationHandle``.
+* :class:`FleetTracer` / :class:`Span` — fleet-wide distributed tracing
+  of service jobs (spans cross process boundaries via the
+  ``X-Repro-Trace`` header and merge on the coordinator).
+* :class:`StructuredLogger` — JSONL event logging with bound fields,
+  shared by ``repro-serve`` and ``repro-worker``.
 * :mod:`repro.obs.tracecli` — the ``repro-trace`` inspection CLI over
-  ``TraceFileWriter`` artifacts.
+  ``TraceFileWriter`` artifacts and fleet job traces (``repro-trace job``).
 """
 
-from repro.obs.flight import FlightRecorder
+from repro.obs.fleet import (
+    SPAN_KINDS,
+    TRACE_HEADER,
+    FleetTracer,
+    Span,
+    critical_path,
+    trace_breakdown,
+    trace_coverage,
+)
+from repro.obs.flight import FlightRecorder, FlightRecordingTaskFn
 from repro.obs.instruments import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.interval import IntervalMetrics
 from repro.obs.profiler import ComponentProfile, EngineProfiler, ProfileReport
 from repro.obs.session import Observability
+from repro.obs.slog import StructuredLogger
 from repro.obs.traceio import iter_records, sniff_format
 
 __all__ = [
@@ -38,7 +55,16 @@ __all__ = [
     "ProfileReport",
     "ComponentProfile",
     "FlightRecorder",
+    "FlightRecordingTaskFn",
+    "FleetTracer",
+    "Span",
+    "SPAN_KINDS",
+    "TRACE_HEADER",
+    "StructuredLogger",
     "Observability",
+    "critical_path",
+    "trace_breakdown",
+    "trace_coverage",
     "iter_records",
     "sniff_format",
 ]

@@ -9,12 +9,16 @@ exception, ns-2 post-mortem style but without the gigabyte trace file.
 
 from __future__ import annotations
 
+import os
 from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
-from typing import Deque, Iterable, Iterator, List, Optional, Union
+from typing import TYPE_CHECKING, Any, Deque, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.sim.trace import TraceRecord, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.metrics.collector import SimulationResult
 
 PathLike = Union[str, Path]
 
@@ -118,3 +122,75 @@ class FlightRecorder:
         except BaseException:
             self.dump(path)
             raise
+
+
+class FlightRecordingTaskFn:
+    """A sweep ``TaskFn`` that crash-dumps the simulation's trace ring.
+
+    A drop-in replacement for the engine's default run-scenario task:
+    it builds the simulation itself, attaches a :class:`FlightRecorder`
+    to the handle's tracer, and runs.  If the run raises, the last
+    ``capacity`` trace records land in
+    ``<directory>/crash-pid<pid>-seed<seed>-run<n>.trace`` before the
+    error propagates — a post-mortem for ``repro-worker`` and
+    ``repro-serve`` without ns-2-style gigabyte trace files.
+
+    :meth:`dump_now` snapshots the ring of the simulation currently in
+    flight (``repro-worker``'s SIGTERM-mid-shard path: the handler runs
+    on the main thread, between bytecodes of the running task).
+
+    Instances are picklable for pooled engines — the in-flight recorder
+    is dropped on pickling, so each worker process records its own runs
+    into the shared directory.
+    """
+
+    def __init__(self, directory: PathLike, capacity: int = 512) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.directory = Path(directory)
+        self.capacity = capacity
+        self.dumps: List[Path] = []
+        self._runs = 0
+        self._current: Optional[FlightRecorder] = None
+        self._current_label = ""
+
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["_current"] = None  # the live recorder never crosses a pickle
+        state["_current_label"] = ""
+        return state
+
+    def _path(self, name: str) -> Path:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        return self.directory / f"{name}.trace"
+
+    def __call__(self, payload: dict) -> "SimulationResult":
+        from repro.scenarios.builder import build_simulation
+        from repro.scenarios.io import scenario_from_dict
+
+        handle = build_simulation(scenario_from_dict(payload))
+        recorder = FlightRecorder(handle.tracer, capacity=self.capacity)
+        self._runs += 1
+        label = f"pid{os.getpid()}-seed{payload.get('seed', '?')}-run{self._runs}"
+        self._current = recorder
+        self._current_label = label
+        try:
+            result = handle.run()
+        except BaseException:
+            self.dumps.append(recorder.dump(self._path(f"crash-{label}")))
+            raise
+        finally:
+            self._current = None
+            self._current_label = ""
+            recorder.detach()
+        return result
+
+    def dump_now(self, tag: str = "signal") -> Optional[Path]:
+        """Dump the in-flight simulation's ring (``None`` when idle)."""
+        recorder = self._current
+        label = self._current_label
+        if recorder is None or not label:
+            return None
+        path = recorder.dump(self._path(f"{tag}-{label}"))
+        self.dumps.append(path)
+        return path

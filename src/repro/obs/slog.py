@@ -1,0 +1,120 @@
+"""Structured JSONL logging with trace correlation for the service fleet.
+
+One :class:`StructuredLogger` per process; every event is a single JSON
+object on one line — ``ts``, ``level``, ``component``, ``event``, any
+bound fields, any per-call fields — written and flushed under one ranked
+I/O lock so concurrent service threads never interleave partial lines.
+``trace_id``/``span_id`` fields (bound or per-call) correlate log lines
+with :mod:`repro.obs.fleet` spans, which is what makes "grep the trace
+id" work across the coordinator log, the worker logs and the journal.
+
+:meth:`StructuredLogger.bind` returns a child logger sharing the parent's
+stream, lock and level but with extra fields pre-attached — the idiom for
+per-job (``log.bind(job=job_id, trace_id=...)``) and per-shard loggers.
+
+The logger is stdlib-only and deliberately tiny: no handlers, no
+formatters, no global registry.  The stream defaults to ``sys.stderr``
+resolved *at emit time* (so pytest's capsys and subprocess redirection
+both see the lines), and the clock is injectable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from typing import Any, Callable, Dict, Optional, TextIO
+
+from repro.devtools.lockdep import OrderedLock
+
+__all__ = ["LEVELS", "StructuredLogger"]
+
+#: Severity order; a logger emits events at or above its configured level.
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class StructuredLogger:
+    """A leveled JSONL logger whose every line is one event object.
+
+    ``stream=None`` (the default) resolves ``sys.stderr`` at each emit;
+    passing an explicit stream pins it (tests pass ``io.StringIO()``).
+    ``clock`` defaults to wall time — log timestamps are serving
+    metadata, never simulation state.
+    """
+
+    def __init__(
+        self,
+        component: str,
+        stream: Optional[TextIO] = None,
+        level: str = "info",
+        clock: Optional[Callable[[], float]] = None,
+        fields: Optional[Dict[str, Any]] = None,
+        _lock: Optional[OrderedLock] = None,
+    ) -> None:
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown log level: {level!r}")
+        self.component = component
+        self.level = level
+        self._stream = stream
+        self._clock = clock if clock is not None else time.time
+        self._fields = dict(fields or {})
+        # Rank 65: an I/O leaf above every service lock, so any thread may
+        # log while holding service/board/metrics/tracer locks.  Writes to
+        # the (possibly line-buffered) stream block, hence io_lock.
+        self._io = (
+            _lock
+            if _lock is not None
+            else OrderedLock("slog.io", rank=65, reentrant=False, io_lock=True)
+        )
+
+    def bind(self, **fields: Any) -> "StructuredLogger":
+        """A child logger with extra fields attached to every event."""
+        merged = dict(self._fields)
+        merged.update(fields)
+        return StructuredLogger(
+            component=self.component,
+            stream=self._stream,
+            level=self.level,
+            clock=self._clock,
+            fields=merged,
+            _lock=self._io,
+        )
+
+    def enabled_for(self, level: str) -> bool:
+        return _LEVEL_RANK.get(level, 0) >= _LEVEL_RANK[self.level]
+
+    def log(self, level: str, event: str, **fields: Any) -> None:
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown log level: {level!r}")
+        if not self.enabled_for(level):
+            return
+        record: Dict[str, Any] = {
+            "ts": round(float(self._clock()), 6),
+            "level": level,
+            "component": self.component,
+            "event": event,
+        }
+        record.update(self._fields)
+        record.update(fields)
+        line = json.dumps(record, default=str, sort_keys=False)
+        stream = self._stream if self._stream is not None else sys.stderr
+        with self._io:
+            try:
+                stream.write(line + "\n")
+                stream.flush()
+            except ValueError:
+                pass  # stream closed mid-shutdown; losing the line is fine
+
+    def debug(self, event: str, **fields: Any) -> None:
+        self.log("debug", event, **fields)
+
+    def info(self, event: str, **fields: Any) -> None:
+        self.log("info", event, **fields)
+
+    def warning(self, event: str, **fields: Any) -> None:
+        self.log("warning", event, **fields)
+
+    def error(self, event: str, **fields: Any) -> None:
+        self.log("error", event, **fields)

@@ -13,6 +13,16 @@ automatically) and on flight-recorder dumps::
 ``timeseries`` bins record counts per virtual-time interval — the quick
 version of :class:`repro.obs.interval.IntervalMetrics` for runs that only
 kept a trace file.
+
+``job`` is the fleet side: it reads one job's merged *span* trace
+(:mod:`repro.obs.fleet`) from a JSON file, stdin (``-``), or straight
+from a coordinator's ``GET /v1/jobs/<id>/trace`` URL, and prints the
+"where did the time go" explainer — a text Gantt of every span, per-kind
+and per-worker breakdowns with the straggler flagged, and the critical
+path that kept the job's completion waiting::
+
+    repro-trace job http://127.0.0.1:8642/v1/jobs/<id>/trace
+    repro-submit trace <id> | repro-trace job -
 """
 
 from __future__ import annotations
@@ -93,6 +103,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default="text",
         dest="out_format",
         help="output rendering (default: aligned text table)",
+    )
+
+    job = sub.add_parser(
+        "job", help="explain one job's fleet span trace (where did the time go)"
+    )
+    job.add_argument(
+        "source",
+        help="trace JSON: a file, '-' for stdin, or a coordinator "
+        "http(s)://.../v1/jobs/<id>/trace URL",
+    )
+    job.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the computed breakdown as JSON instead of text",
+    )
+    job.add_argument(
+        "--width",
+        type=int,
+        default=60,
+        metavar="COLS",
+        help="Gantt bar width in characters (default: 60)",
+    )
+    job.add_argument(
+        "--max-spans",
+        type=int,
+        default=40,
+        metavar="N",
+        help="Gantt rows before folding the rest into a summary line "
+        "(default: 40; breakdowns always cover every span)",
     )
     return parser
 
@@ -238,6 +277,168 @@ def _timeseries(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- job (fleet span traces) -------------------------------------------------
+
+
+def _load_job_trace(source: str) -> Dict[str, Any]:
+    """Read a job trace document from a file, stdin, or a coordinator URL.
+
+    Accepts the ``GET /v1/jobs/<id>/trace`` document, a bare JSON list of
+    span dicts, or span-per-line JSONL; always returns a
+    ``{"id", "trace_id", "spans"}``-shaped dict.
+    """
+    if source == "-":
+        text = sys.stdin.read()
+    elif source.startswith(("http://", "https://")):
+        import urllib.error
+        import urllib.request
+
+        try:
+            with urllib.request.urlopen(source, timeout=30.0) as response:
+                text = response.read().decode("utf-8")
+        except urllib.error.URLError as exc:
+            raise ValueError(f"cannot fetch {source}: {exc}") from exc
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    text = text.strip()
+    if not text:
+        return {"id": None, "trace_id": None, "spans": []}
+    try:
+        blob: Any = json.loads(text)
+    except ValueError:
+        blob = [json.loads(line) for line in text.splitlines() if line.strip()]
+    if isinstance(blob, list):
+        blob = {"id": None, "trace_id": None, "spans": blob}
+    if not isinstance(blob, dict) or not isinstance(blob.get("spans"), list):
+        raise ValueError("not a job trace (expected a 'spans' list)")
+    spans = [span for span in blob["spans"] if isinstance(span, dict)]
+    return {"id": blob.get("id"), "trace_id": blob.get("trace_id"), "spans": spans}
+
+
+def _gantt_rows(
+    spans: List[Dict[str, Any]], width: int, max_spans: int
+) -> List[str]:
+    from repro.obs.fleet import find_root
+
+    root = find_root(spans)
+    if root is None or root.get("end") is None:
+        return ["  (no finished root span; nothing to draw)"]
+    lo = float(root["start"])
+    hi = max(
+        [float(root["end"])]
+        + [float(s["end"]) for s in spans if s.get("end") is not None]
+    )
+    wall = max(hi - lo, 1e-9)
+    drawn = sorted(
+        (s for s in spans if s.get("end") is not None),
+        key=lambda s: (float(s.get("start", 0.0)), str(s.get("span_id"))),
+    )
+    folded = 0
+    if len(drawn) > max_spans:
+        folded = len(drawn) - max_spans
+        drawn = drawn[:max_spans]
+    kind_w = max((len(str(s.get("kind", "?"))) for s in drawn), default=4)
+    proc_w = max((len(str(s.get("proc", "?"))) for s in drawn), default=4)
+    rows = []
+    for span in drawn:
+        start = float(span.get("start", lo))
+        end = float(span["end"])
+        left = int(round((max(start, lo) - lo) / wall * width))
+        right = int(round((min(end, hi) - lo) / wall * width))
+        right = max(right, left + 1)  # a short span still gets one cell
+        bar = " " * left + "#" * (right - left) + " " * (width - right)
+        rows.append(
+            f"  {str(span.get('kind', '?')):<{kind_w}} "
+            f"{str(span.get('proc', '?')):<{proc_w}} "
+            f"|{bar[:width]}| {end - start:9.4f}s"
+        )
+    if folded:
+        rows.append(f"  ... {folded} more span(s) not drawn (--max-spans)")
+    return rows
+
+
+def _job(args: argparse.Namespace) -> int:
+    from repro.obs.fleet import critical_path, trace_breakdown, validate_spans
+
+    doc = _load_job_trace(args.source)
+    spans = doc["spans"]
+    breakdown = trace_breakdown(spans)
+    path = critical_path(spans)
+    problems = validate_spans(spans)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "id": doc["id"],
+                    "trace_id": doc["trace_id"],
+                    "spans": len(spans),
+                    "breakdown": breakdown,
+                    "critical_path": path,
+                    "problems": problems,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    coverage = breakdown["coverage"]
+    wall = coverage["root_s"]
+    if doc["id"]:
+        print(f"job      : {doc['id']}")
+    if doc["trace_id"]:
+        print(f"trace    : {doc['trace_id']}")
+    print(f"spans    : {len(spans)} from {len(coverage['procs'])} process(es): "
+          + ", ".join(coverage["procs"]))
+    print(f"wall     : {wall:.4f} s   covered: {coverage['covered_s']:.4f} s "
+          f"({coverage['coverage']:.1%})")
+    for problem in problems:
+        print(f"problem  : {problem}")
+    if not spans:
+        return 0
+    width = max(10, args.width)
+    print()
+    print(f"gantt ({wall:.4f} s wall):")
+    for row in _gantt_rows(spans, width, max(1, args.max_spans)):
+        print(row)
+    print()
+    print("where did the time go (by stage):")
+    by_kind = breakdown["by_kind"]
+    kind_w = max(len(k) for k in by_kind)
+    print(f"  {'stage':<{kind_w}}  {'count':>5}  {'total_s':>9}  "
+          f"{'busy_s':>9}  {'% wall':>7}")
+    for kind, row in sorted(
+        by_kind.items(), key=lambda item: (-item[1]["busy_s"], item[0])
+    ):
+        share = row["busy_s"] / wall if wall > 0 else 0.0
+        print(f"  {kind:<{kind_w}}  {int(row['count']):>5}  "
+              f"{row['total_s']:>9.4f}  {row['busy_s']:>9.4f}  {share:>7.1%}")
+    print()
+    print("per process:")
+    stragglers = set(breakdown["stragglers"])
+    proc_w = max(len(p) for p in breakdown["by_proc"])
+    for proc, row in sorted(
+        breakdown["by_proc"].items(), key=lambda item: -item[1]["busy_s"]
+    ):
+        share = row["busy_s"] / wall if wall > 0 else 0.0
+        flag = "  <-- straggler" if proc in stragglers else ""
+        print(f"  {proc:<{proc_w}}  {int(row['count']):>4} span(s)  "
+              f"busy {row['busy_s']:>9.4f}s  ({share:.1%}){flag}")
+    print()
+    print("critical path (self time explains the wait):")
+    for step in path:
+        print(f"  {str(step.get('kind', '?')):<14} {str(step.get('proc', '?')):<16} "
+              f"{_critical_duration(step):>9.4f}s  self {step['self_s']:>9.4f}s")
+    return 0
+
+
+def _critical_duration(step: Dict[str, Any]) -> float:
+    end = step.get("end")
+    if end is None:
+        return 0.0
+    return max(0.0, float(end) - float(step.get("start", 0.0)))
+
+
 # -- entry point -----------------------------------------------------------
 
 
@@ -248,6 +449,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _summarize(args.path, args.json)
         if args.command == "filter":
             return _filter(args)
+        if args.command == "job":
+            return _job(args)
         return _timeseries(args)
     except FileNotFoundError as exc:
         print(f"error: {exc.filename}: no such trace file", file=sys.stderr)

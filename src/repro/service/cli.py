@@ -12,6 +12,7 @@
     repro-submit status <job-id>
     repro-submit wait <job-id> --timeout 600
     repro-submit fetch <job-id> --json results.json
+    repro-submit trace <job-id> | repro-trace job -
     repro-submit cancel <job-id>
     repro-submit health
     repro-submit metrics
@@ -147,6 +148,19 @@ def _build_serve_parser() -> argparse.ArgumentParser:
         "within a shard (default: 1)",
     )
     parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable fleet tracing (no spans recorded, journaled, or "
+        "served from /v1/jobs/<id>/trace)",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="arm a flight recorder per locally-executed simulation: a "
+        "crash dumps its last trace records to DIR",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
     return parser
@@ -169,9 +183,12 @@ def serve_main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _run_serve(args: argparse.Namespace) -> int:
+    from repro.obs.fleet import FleetTracer
+    from repro.obs.slog import StructuredLogger
     from repro.service.core import SimulationService
     from repro.service.http import ServiceHTTPServer
 
+    log = StructuredLogger("serve")
     shards_done_before = 0
     if args.distributed and args.journal:
         # Before construction: the service compacts the journal (dropping
@@ -180,6 +197,11 @@ def _run_serve(args: argparse.Namespace) -> int:
 
         history = replay_shards(args.journal)
         shards_done_before = sum(len(entry.done) for entry in history.values())
+    task_fn = None
+    if args.flight_dir is not None:
+        from repro.obs.flight import FlightRecordingTaskFn
+
+        task_fn = FlightRecordingTaskFn(args.flight_dir)
     service = SimulationService(
         workers=args.workers,
         cache_dir=args.cache_dir,
@@ -188,22 +210,26 @@ def _run_serve(args: argparse.Namespace) -> int:
         max_inflight_per_client=args.max_inflight,
         processes=args.processes,
         retries=args.retries,
+        task_fn=task_fn,
         distributed=args.distributed,
         lease_ttl_s=args.lease_ttl,
         shard_size=args.shard_size,
         seed_batch=args.seed_batch,
+        tracer=FleetTracer(proc="coordinator", enabled=not args.no_trace),
     )
     recovered = [job for job in service.jobs() if job.recovered]
     if recovered:
-        print(
-            f"recovered {len(recovered)} unfinished job(s) from the journal",
-            file=sys.stderr,
+        log.info(
+            "journal.recovered",
+            count=len(recovered),
+            message=f"recovered {len(recovered)} unfinished job(s) from the journal",
         )
     if shards_done_before:
-        print(
-            f"{shards_done_before} shard(s) were delivered before the "
-            "restart; their results resolve from the cache",
-            file=sys.stderr,
+        log.info(
+            "journal.shards_done",
+            count=shards_done_before,
+            message=f"{shards_done_before} shard(s) were delivered before "
+            "the restart; their results resolve from the cache",
         )
     httpd = ServiceHTTPServer((args.host, args.port), service, verbose=args.verbose)
     service.start()
@@ -217,6 +243,8 @@ def _run_serve(args: argparse.Namespace) -> int:
     stop = threading.Event()
 
     def _on_signal(signum: int, _frame: Any) -> None:
+        # print, not slog: the handler may interrupt a thread that holds
+        # the logger's non-reentrant I/O lock.
         print(
             f"signal {signal.Signals(signum).name}: draining "
             f"(grace {args.grace:g}s)",
@@ -238,13 +266,14 @@ def _run_serve(args: argparse.Namespace) -> int:
     finally:
         httpd.shutdown()
         summary = service.drain(grace_s=args.grace)
-        print(
-            "drained: "
-            f"{summary['finished']} finished, "
+        log.info(
+            "drained",
+            finished=summary["finished"],
+            checkpointed=summary["checkpointed"],
+            pending=summary["pending"],
+            message=f"drained: {summary['finished']} finished, "
             f"{summary['checkpointed']} checkpointed, "
             f"{summary['pending']} still pending (journaled)",
-            file=sys.stderr,
-            flush=True,
         )
     return 0
 
@@ -310,6 +339,8 @@ def _build_submit_parser() -> argparse.ArgumentParser:
         ("status", "print one job's status"),
         ("wait", "poll until the job is terminal"),
         ("fetch", "wait, then print the job's aggregated metrics"),
+        ("trace", "print the job's merged span trace as JSON "
+         "(pipe into 'repro-trace job -')"),
         ("cancel", "cancel a pending job / delete a terminal record"),
     ):
         cmd = sub.add_parser(name, help=help_text)
@@ -442,6 +473,8 @@ def submit_main(argv: Optional[Sequence[str]] = None) -> int:
         elif args.command == "fetch":
             results = client.fetch(args.job_id, timeout=args.job_timeout)
             _print_results(results, args.json)
+        elif args.command == "trace":
+            _print_doc(client.job_trace(args.job_id))
         elif args.command == "cancel":
             _print_doc(client.cancel(args.job_id))
         elif args.command == "health":

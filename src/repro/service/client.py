@@ -19,6 +19,12 @@ explicitly because the server makes them safe to repeat (claims hand out
 fresh leases, heartbeats re-extend, completes are first-delivery-wins).
 A non-idempotent POST (job submission) is never retried — the caller
 decides whether a duplicate job is acceptable.
+
+Backoff is *decorrelated-jitter* exponential (each sleep drawn uniformly
+from ``[base, 3 × previous]``, capped): when a rebooted coordinator comes
+back, a fleet of workers that all failed at the same instant spreads its
+retries instead of thundering-herding the first healthy second.  The
+jitter generator is seedable (``jitter_seed``) for deterministic tests.
 """
 # repro-lint: disable-file=DET001 -- poll deadlines and retry backoff are
 # wall-clock by nature; the client never touches simulation state.
@@ -30,10 +36,13 @@ import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Union
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.analysis.cache import result_from_payload, result_to_payload
 from repro.errors import ReproError
+from repro.obs.fleet import TRACE_HEADER, format_trace_context
 from repro.metrics.collector import SimulationResult
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.io import scenario_to_dict
@@ -80,6 +89,7 @@ class ServiceClient:
         retries: int = 2,
         backoff_s: float = 0.1,
         backoff_max_s: float = 2.0,
+        jitter_seed: Optional[int] = None,
     ) -> None:
         self.base_url = base_url.rstrip("/")
         self.client_id = client_id
@@ -87,6 +97,17 @@ class ServiceClient:
         self.retries = max(0, retries)
         self.backoff_s = backoff_s
         self.backoff_max_s = backoff_max_s
+        # Decorrelated-jitter state; unseeded by default so independent
+        # workers genuinely decorrelate (this RNG never touches
+        # simulation state — seed it only to pin a test).
+        self._jitter_rng = np.random.Generator(np.random.PCG64(jitter_seed))
+
+    def _next_backoff(self, previous: float) -> float:
+        """One decorrelated-jitter delay: uniform over ``[base, 3·prev]``
+        (AWS-style), capped at ``backoff_max_s``."""
+        low = self.backoff_s
+        high = max(low, 3.0 * previous)
+        return float(min(self.backoff_max_s, self._jitter_rng.uniform(low, high)))
 
     # -- HTTP plumbing -------------------------------------------------------
 
@@ -97,6 +118,7 @@ class ServiceClient:
         body: Optional[Dict[str, Any]] = None,
         ok_statuses: Sequence[int] = (200, 202),
         idempotent: Optional[bool] = None,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         """One API call, with bounded retry on transient connection errors.
 
@@ -106,13 +128,15 @@ class ServiceClient:
         if idempotent is None:
             idempotent = method in ("GET", "PUT", "DELETE")
         attempts = (self.retries if idempotent else 0) + 1
+        delay = self.backoff_s
         for attempt in range(attempts):
             if attempt:
-                time.sleep(
-                    min(self.backoff_max_s, self.backoff_s * 2 ** (attempt - 1))
-                )
+                delay = self._next_backoff(delay)
+                time.sleep(delay)
             try:
-                return self._request_once(method, path, body, ok_statuses)
+                return self._request_once(
+                    method, path, body, ok_statuses, extra_headers
+                )
             except TransientServiceError:
                 if attempt + 1 >= attempts:
                     raise
@@ -124,19 +148,23 @@ class ServiceClient:
         path: str,
         body: Optional[Dict[str, Any]] = None,
         ok_statuses: Sequence[int] = (200, 202),
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> Dict[str, Any]:
         data = None
         headers = {"X-Client": self.client_id}
+        headers.update(extra_headers or {})
         if body is not None:
             data = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         request = urllib.request.Request(
             self.base_url + path, data=data, headers=headers, method=method
         )
+        trace_header: Optional[str] = None
         try:
             with urllib.request.urlopen(request, timeout=self.timeout) as response:
                 payload = self._decode(response)
                 status = response.status
+                trace_header = response.headers.get(TRACE_HEADER)
         except urllib.error.HTTPError as exc:
             payload = self._decode(exc)
             status = exc.code
@@ -164,6 +192,8 @@ class ServiceClient:
         if status not in ok_statuses:
             raise ServiceError(payload.get("error") or f"HTTP {status}", status)
         payload["_status"] = status
+        if trace_header is not None:
+            payload["_trace"] = trace_header
         return payload
 
     @staticmethod
@@ -181,21 +211,45 @@ class ServiceClient:
         self,
         scenarios: Union[ScenarioLike, Sequence[ScenarioLike]],
         priority: int = 0,
+        trace_parent: Optional[Tuple[str, str]] = None,
     ) -> str:
-        """Submit scenario(s); returns the job id (job state: pending)."""
+        """Submit scenario(s); returns the job id (job state: pending).
+
+        ``trace_parent=(trace_id, span_id)`` attaches the submission to an
+        existing fleet trace via the ``X-Repro-Trace`` header.
+        """
         if isinstance(scenarios, (ScenarioConfig, dict)):
             scenarios = [scenarios]
         payloads = [
             scenario_to_dict(s) if isinstance(s, ScenarioConfig) else dict(s)
             for s in scenarios
         ]
+        extra: Optional[Dict[str, str]] = None
+        if trace_parent is not None:
+            extra = {TRACE_HEADER: format_trace_context(*trace_parent)}
         response = self._request(
             "POST",
             "/v1/jobs",
             {"scenarios": payloads, "priority": priority, "client": self.client_id},
             ok_statuses=(202,),
+            extra_headers=extra,
         )
         return str(response["id"])
+
+    def job_trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's merged fleet trace: ``{"id", "trace_id", "spans"}``."""
+        response = self._request("GET", f"/v1/jobs/{job_id}/trace")
+        response.pop("_status", None)
+        response.pop("_trace", None)
+        return response
+
+    def post_spans(self, spans: List[Dict[str, Any]]) -> int:
+        """Ship finished spans to the coordinator; returns the accepted
+        count (the fallback path when spans miss their shard delivery)."""
+        response = self._request(
+            "POST", "/v1/spans", {"spans": list(spans)}, idempotent=True
+        )
+        return int(response.get("accepted", 0))
 
     def status(self, job_id: str) -> Dict[str, Any]:
         return self._request("GET", f"/v1/jobs/{job_id}")
@@ -294,15 +348,22 @@ class ServiceClient:
         results: Dict[str, SimulationResult],
         failures: Optional[Dict[str, str]] = None,
         stats: Optional[Dict[str, Any]] = None,
+        spans: Optional[List[Dict[str, Any]]] = None,
     ) -> Dict[str, Any]:
-        """Deliver a shard's results (first delivery wins server-side)."""
-        body = {
+        """Deliver a shard's results (first delivery wins server-side).
+
+        ``spans`` ships the worker's finished trace spans with the
+        delivery so they merge into the coordinator's job trace.
+        """
+        body: Dict[str, Any] = {
             "results": {
                 key: result_to_payload(result) for key, result in results.items()
             },
             "failures": dict(failures or {}),
             "stats": dict(stats or {}),
         }
+        if spans:
+            body["spans"] = list(spans)
         return self._request(
             "POST", f"/v1/leases/{lease_id}/complete", body, idempotent=True
         )

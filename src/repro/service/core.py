@@ -41,19 +41,20 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.analysis.cache import ResultCache, scenario_hash
 from repro.analysis.runner import ProgressUpdate, SweepEngine, TaskFn
 from repro.devtools.lockdep import OrderedLock
 from repro.errors import ConfigurationError, ReproError
 from repro.metrics.collector import SimulationResult
+from repro.obs.fleet import FleetTracer, Span, new_trace_id
 from repro.obs.instruments import MetricsRegistry
 from repro.scenarios.config import ScenarioConfig
 from repro.scenarios.io import scenario_from_dict, scenario_to_dict
 from repro.service.jobs import Job, JobState, new_job_id
-from repro.service.journal import JobJournal, replay
-from repro.service.leases import LeaseNotFoundError, ShardBoard
+from repro.service.journal import JobJournal, replay, replay_spans
+from repro.service.leases import Lease, LeaseNotFoundError, ShardBoard
 from repro.service.metrics import ServiceMetrics
 from repro.service.queue import AdmissionError, AdmissionPolicy, JobQueue
 
@@ -128,6 +129,7 @@ class SimulationService:
         lease_ttl_s: float = 10.0,
         shard_size: int = 4,
         seed_batch: int = 1,
+        tracer: Optional[FleetTracer] = None,
     ) -> None:
         self.workers = max(1, workers)
         self.cache_dir = cache_dir
@@ -135,6 +137,12 @@ class SimulationService:
         self.retries = retries
         self._task_fn = task_fn
         self.metrics = ServiceMetrics(registry)
+        # Fleet tracing is strictly optional: ``tracer=None`` keeps every
+        # span site to a single attribute check (the bench's "plain" mode),
+        # and a disabled tracer adds only its own fast path.
+        self.tracer = tracer
+        if tracer is not None:
+            tracer.set_on_finish(self._on_span_finish)
         self._policy = AdmissionPolicy(max_queue_depth, max_inflight_per_client)
         # Rank 10: the root of the lock hierarchy (docs/architecture.md);
         # held while pushing to the queue (30), journaling (60) and
@@ -147,6 +155,12 @@ class SimulationService:
         self._threads: List[threading.Thread] = []  # guarded-by: _lock
         self._draining = False  # guarded-by: _lock
         self._stopped = False  # guarded-by: _lock
+        # Tracing state: open span handles keyed "job:<id>"/"queue:<id>"/
+        # "dispatch:<id>"/"shardq:<shard>"/"lease:<lease>", the trace->job
+        # map, and which span ids each job has already journaled.
+        self._open_spans: Dict[str, Span] = {}  # guarded-by: _lock
+        self._trace_jobs: Dict[str, str] = {}  # guarded-by: _lock
+        self._journaled_spans: Dict[str, Set[str]] = {}  # guarded-by: _lock
         self.started_at = time.time()
         self.distributed = distributed
         self.lease_ttl_s = lease_ttl_s
@@ -164,13 +178,21 @@ class SimulationService:
 
         self._journal: Optional[JobJournal] = None
         if journal_path is not None:
+            replayed_traces: Dict[str, List[Dict[str, Any]]] = {}
+            if tracer is not None:
+                replayed_traces = replay_spans(journal_path)
             for job in replay(journal_path):
                 self._jobs[job.id] = job
                 if job.state is JobState.PENDING:
                     self._queue.push(job)
+            if tracer is not None:
+                with self._lock:
+                    self._restore_traces_locked(replayed_traces)
             self._journal = JobJournal(journal_path)
+            self._journal.tracer = tracer
             self._journal.compact(
-                sorted(self._jobs.values(), key=lambda j: j.submitted_at)
+                sorted(self._jobs.values(), key=lambda j: j.submitted_at),
+                traces=replayed_traces,
             )
 
         self._board: Optional[ShardBoard] = None
@@ -183,7 +205,52 @@ class SimulationService:
                 seed_batch=seed_batch,
                 lease_ttl_s=lease_ttl_s,
             )
+            self._board.on_trace = self._on_shard_event
         self._refresh_gauges_locked()
+
+    def _restore_traces_locked(
+        self, replayed: Dict[str, List[Dict[str, Any]]]
+    ) -> None:
+        """Reload journaled spans and re-root recovered jobs' traces.
+
+        Pre-restart spans come back exactly as journaled (no metric
+        replay — the earlier process already counted them).  Jobs going
+        back to ``pending`` reuse their trace id but get a *new* root and
+        queue span: the crashed coordinator's root was still open when it
+        died and so was never journaled.
+        """
+        tracer = self.tracer
+        assert tracer is not None
+        for job_id, spans in replayed.items():
+            job = self._jobs.get(job_id)
+            if job is None or job.trace_id is None:
+                continue
+            tracer.add_spans(spans, record_metrics=False)
+            self._trace_jobs[job.trace_id] = job_id
+            self._journaled_spans[job_id] = {
+                blob["span_id"]
+                for blob in spans
+                if isinstance(blob.get("span_id"), str)
+            }
+        if not tracer.enabled:
+            return
+        for job in self._jobs.values():
+            if job.state is not JobState.PENDING:
+                continue
+            if job.trace_id is None:
+                job.trace_id = new_trace_id()
+            self._trace_jobs[job.trace_id] = job.id
+            root = tracer.start(
+                "job",
+                job.trace_id,
+                attrs={"job": job.id, "client": job.client, "recovered": True},
+            )
+            if root is None:
+                continue
+            self._open_spans["job:" + job.id] = root
+            queued = tracer.start("queue.wait", job.trace_id, parent_id=root.span_id)
+            if queued is not None:
+                self._open_spans["queue:" + job.id] = queued
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -279,6 +346,7 @@ class SimulationService:
         scenarios: Union[ScenarioLike, Sequence[ScenarioLike]],
         client: str = "default",
         priority: int = 0,
+        trace_parent: Optional[Tuple[str, str]] = None,
     ) -> Job:
         """Admit a job for the given scenario(s); returns it ``pending``.
 
@@ -287,7 +355,13 @@ class SimulationService:
         :class:`AdmissionError` when the queue is full or the client is
         over its in-flight limit, and :class:`ServiceDrainingError` once
         :meth:`drain` has begun.
+
+        ``trace_parent`` is an adopted ``(trace_id, parent_span_id)``
+        context (the ``X-Repro-Trace`` request header): the job joins the
+        submitter's trace instead of opening a fresh one.
         """
+        tracer = self.tracer
+        submit_start = tracer.now() if tracer is not None else 0.0
         payloads = [self._as_payload(s) for s in self._as_sequence(scenarios)]
         if not payloads:
             raise ConfigurationError("a job needs at least one scenario")
@@ -318,6 +392,35 @@ class SimulationService:
             job = Job(
                 id=new_job_id(), client=client, priority=priority, scenarios=payloads
             )
+            if tracer is not None and tracer.enabled:
+                job.trace_id = (
+                    trace_parent[0] if trace_parent is not None else new_trace_id()
+                )
+                self._trace_jobs[job.trace_id] = job.id
+                root = tracer.start(
+                    "job",
+                    job.trace_id,
+                    parent_id=trace_parent[1] if trace_parent is not None else None,
+                    attrs={
+                        "job": job.id,
+                        "client": client,
+                        "scenarios": len(payloads),
+                    },
+                )
+                if root is not None:
+                    root.start = submit_start  # the root covers validation too
+                    self._open_spans["job:" + job.id] = root
+                    admit = tracer.start(
+                        "submit", job.trace_id, parent_id=root.span_id
+                    )
+                    if admit is not None:
+                        admit.start = submit_start
+                    tracer.finish(admit, scenarios=len(payloads))
+                    queued = tracer.start(
+                        "queue.wait", job.trace_id, parent_id=root.span_id
+                    )
+                    if queued is not None:
+                        self._open_spans["queue:" + job.id] = queued
             self._jobs[job.id] = job
             if self._journal is not None:
                 self._journal.record_submit(job)
@@ -356,6 +459,13 @@ class SimulationService:
                 if remaining <= 0:
                     break
             version = job.wait_for_change(version, timeout=remaining)
+        if job.terminal:
+            # The terminal state flip is visible before the rest of the
+            # finishing work (trace spans, stage histograms, journal) runs
+            # in the same locked region; passing through the lock once makes
+            # wait() a happens-after barrier for all of it.
+            with self._lock:
+                pass
         return job
 
     def cancel(self, job_id: str) -> Job:
@@ -374,6 +484,7 @@ class SimulationService:
                 if self._journal is not None:
                     self._journal.record_cancelled(job)
                 self.metrics.jobs_cancelled.inc()
+                self._finish_trace_locked(job, "cancelled")
                 self._refresh_gauges_locked()
             elif job.state is JobState.RUNNING:
                 raise JobNotCancellableError(
@@ -383,6 +494,11 @@ class SimulationService:
                 del self._jobs[job_id]
                 if self._journal is not None:
                     self._journal.record_deleted(job_id)
+                tracer = self.tracer
+                if tracer is not None and job.trace_id is not None:
+                    tracer.discard(job.trace_id)
+                    self._trace_jobs.pop(job.trace_id, None)
+                self._journaled_spans.pop(job_id, None)
         job.touch()
         return job
 
@@ -427,6 +543,115 @@ class SimulationService:
             running=self._count_state_locked(JobState.RUNNING),
         )
 
+    # -- fleet tracing ---------------------------------------------------------
+
+    def _on_span_finish(self, span: Span) -> None:
+        """Tracer hook: every finished span feeds a per-stage histogram."""
+        self.metrics.observe_stage(span.kind, span.duration())
+
+    def _root_span_id_locked(self, job_id: str) -> Optional[str]:
+        span = self._open_spans.get("job:" + job_id)
+        return span.span_id if span is not None else None
+
+    def _open_span_id(self, key: str) -> Optional[str]:
+        with self._lock:
+            span = self._open_spans.get(key)
+        return span.span_id if span is not None else None
+
+    def _trace_job_running_locked(self, job: Job) -> None:
+        """Queue wait is over; the dispatch stage begins."""
+        tracer = self.tracer
+        if tracer is None or job.trace_id is None:
+            return
+        tracer.finish(self._open_spans.pop("queue:" + job.id, None))
+        span = tracer.start(
+            "dispatch",
+            job.trace_id,
+            parent_id=self._root_span_id_locked(job.id),
+            attrs={"job": job.id},
+        )
+        if span is not None:
+            self._open_spans["dispatch:" + job.id] = span
+
+    def _finish_trace_locked(self, job: Job, state: str) -> None:
+        """Close the job's open coordinator spans and journal the trace."""
+        tracer = self.tracer
+        if tracer is None or job.trace_id is None:
+            return
+        tracer.finish(self._open_spans.pop("queue:" + job.id, None))
+        tracer.finish(self._open_spans.pop("dispatch:" + job.id, None))
+        tracer.finish(self._open_spans.pop("job:" + job.id, None), state=state)
+        self._journal_trace_locked(job)
+
+    def _journal_trace_locked(self, job: Job) -> None:
+        """Append the trace's not-yet-journaled finished spans."""
+        tracer = self.tracer
+        if tracer is None or job.trace_id is None or self._journal is None:
+            return
+        seen = self._journaled_spans.setdefault(job.id, set())
+        fresh = [
+            blob
+            for blob in tracer.trace_dicts(job.trace_id)
+            if blob.get("end") is not None and blob["span_id"] not in seen
+        ]
+        if not fresh:
+            return
+        self._journal.record_spans(job.id, job.trace_id, fresh)
+        seen.update(blob["span_id"] for blob in fresh)
+
+    def _on_shard_event(self, event: str, shard_id: str, job_id: str) -> None:
+        """Shard-board observer: per-shard queue.wait spans.
+
+        Called by the board with its lock already released, so taking the
+        service lock here is rank-clean (10 from nothing held).
+        """
+        tracer = self.tracer
+        if tracer is None:
+            return
+        with self._lock:
+            if event == "claimed":
+                tracer.finish(self._open_spans.pop("shardq:" + shard_id, None))
+                return
+            job = self._jobs.get(job_id)
+            if job is None or job.trace_id is None:
+                return
+            span = tracer.start(
+                "queue.wait",
+                job.trace_id,
+                parent_id=self._root_span_id_locked(job_id),
+                attrs={"shard": shard_id, "requeue": event == "requeued"},
+            )
+            if span is not None:
+                tracer.finish(self._open_spans.pop("shardq:" + shard_id, None))
+                self._open_spans["shardq:" + shard_id] = span
+
+    def ingest_spans(self, spans: List[Dict[str, Any]]) -> int:
+        """Merge worker-produced spans (``POST /v1/spans``) and journal
+        them for whichever jobs their traces belong to."""
+        tracer = self.tracer
+        if tracer is None:
+            return 0
+        accepted = tracer.add_spans(spans)
+        with self._lock:
+            job_ids = {
+                self._trace_jobs.get(str(blob.get("trace_id")))
+                for blob in spans
+                if isinstance(blob, dict)
+            }
+            for job_id in sorted(jid for jid in job_ids if jid):
+                job = self._jobs.get(job_id)
+                if job is not None:
+                    self._journal_trace_locked(job)
+        return accepted
+
+    def job_trace(self, job_id: str) -> Dict[str, Any]:
+        """The job's merged trace (``GET /v1/jobs/<id>/trace``)."""
+        job = self.get_job(job_id)
+        spans: List[Dict[str, Any]] = []
+        if self.tracer is not None and job.trace_id is not None:
+            spans = self.tracer.trace_dicts(job.trace_id)
+        return {"id": job.id, "trace_id": job.trace_id, "spans": spans}
+
     def _worker_loop(self) -> None:
         while self._running():
             job = self._queue.pop(timeout=0.2)
@@ -442,6 +667,7 @@ class SimulationService:
                 job.started_at = time.time()
                 if self._journal is not None:
                     self._journal.record_state(job)
+                self._trace_job_running_locked(job)
                 self._refresh_gauges_locked()
             job.touch()
             try:
@@ -471,6 +697,7 @@ class SimulationService:
                 job.started_at = time.time()
                 if self._journal is not None:
                     self._journal.record_state(job)
+                self._trace_job_running_locked(job)
                 self._refresh_gauges_locked()
             job.touch()
             try:
@@ -488,9 +715,22 @@ class SimulationService:
         assert board is not None
         tick = min(1.0, max(0.05, self.lease_ttl_s / 4.0))
         while self._running():
-            board.expire_leases(time.time())
+            expired = board.expire_leases(time.time())
+            self._trace_leases_expired(expired)
             self.sync_fleet_metrics()
             time.sleep(tick)
+
+    def _trace_leases_expired(self, expired: List[Lease]) -> None:
+        """Close the shard.lease spans of leases the janitor expired."""
+        tracer = self.tracer
+        if tracer is None or not expired:
+            return
+        with self._lock:
+            for lease in expired:
+                tracer.finish(
+                    self._open_spans.pop("lease:" + lease.id, None),
+                    outcome="expired",
+                )
 
     def sync_fleet_metrics(self) -> None:
         """Fold the shard board's current totals into the metric set."""
@@ -512,7 +752,33 @@ class SimulationService:
         lease = board.claim(worker, time.time())
         if lease is None:
             return None
-        return lease.claim_doc(board.seed_batch)
+        doc = lease.claim_doc(board.seed_batch)
+        tracer = self.tracer
+        if tracer is not None:
+            with self._lock:
+                job = self._jobs.get(lease.shard.job_id)
+                trace_id = job.trace_id if job is not None else None
+                span = tracer.start(
+                    "shard.lease",
+                    trace_id,
+                    parent_id=self._root_span_id_locked(lease.shard.job_id),
+                    attrs={
+                        "lease": lease.id,
+                        "shard": lease.shard.id,
+                        "job": lease.shard.job_id,
+                        "worker": worker,
+                        "tasks": len(lease.shard.keys),
+                    },
+                )
+                if span is not None:
+                    self._open_spans["lease:" + lease.id] = span
+                    # The claim doc carries the trace context; the worker's
+                    # shard.execute span parents onto this lease span.
+                    doc["trace"] = {
+                        "trace_id": trace_id,
+                        "parent_id": span.span_id,
+                    }
+        return doc
 
     def lease_heartbeat(self, lease_id: str) -> Dict[str, Any]:
         """Renew a lease; raises :class:`LeaseNotFoundError` if lapsed."""
@@ -526,19 +792,60 @@ class SimulationService:
         results: Dict[str, SimulationResult],
         failures: Optional[Dict[str, str]] = None,
         stats: Optional[Dict[str, Any]] = None,
+        spans: Optional[List[Dict[str, Any]]] = None,
     ) -> Dict[str, Any]:
-        """Deliver a shard; finishes every job the delivery settles."""
+        """Deliver a shard; finishes every job the delivery settles.
+
+        ``spans`` are worker-side trace spans shipped with the delivery;
+        they merge into the coordinator's trace and are journaled so the
+        merged trace survives a coordinator restart.
+        """
         board = self._require_board()
         executed = int((stats or {}).get("executed", 0))
+        tracer = self.tracer
+        lease_span: Optional[Span] = None
+        deliver_span: Optional[Span] = None
+        if tracer is not None:
+            with self._lock:
+                lease_span = self._open_spans.pop("lease:" + lease_id, None)
+            if lease_span is not None:
+                deliver_span = tracer.start(
+                    "result.deliver",
+                    lease_span.trace_id,
+                    parent_id=lease_span.span_id,
+                    attrs={"lease": lease_id},
+                )
         outcome = board.complete(
             lease_id, results, failures, now=time.time(), executed=executed
         )
         if outcome.accepted and executed:
             self.metrics.sims_executed.inc(executed)
+        if tracer is not None and spans:
+            tracer.add_spans(spans)
         for job, job_results in outcome.finished:
             self._finish_done(job, job_results)
         for job, error in outcome.failed:
             self._finish_failed(job, error)
+        if tracer is not None:
+            tracer.finish(
+                lease_span,
+                outcome="accepted" if outcome.accepted else "duplicate",
+                late=outcome.late,
+            )
+            tracer.finish(deliver_span, results=len(results))
+            with self._lock:
+                touched: Set[str] = set()
+                if lease_span is not None:
+                    touched.add(str(lease_span.attrs.get("job")))
+                for blob in spans or []:
+                    if isinstance(blob, dict):
+                        job_id = self._trace_jobs.get(str(blob.get("trace_id")))
+                        if job_id is not None:
+                            touched.add(job_id)
+                for job_id in sorted(touched):
+                    job = self._jobs.get(job_id)
+                    if job is not None:
+                        self._journal_trace_locked(job)
         self.sync_fleet_metrics()
         return {
             "accepted": outcome.accepted,
@@ -589,12 +896,22 @@ class SimulationService:
 
         resolved: Dict[str, SimulationResult] = {}
         cached = 0
+        tracer = self.tracer
+        lookup: Optional[Span] = None
         if cache is not None:
+            if tracer is not None:
+                lookup = tracer.start(
+                    "cache.lookup",
+                    job.trace_id,
+                    parent_id=self._open_span_id("dispatch:" + job.id),
+                )
             for key in unique_keys:
                 hit = cache.get(key)
                 if hit is not None:
                     resolved[key] = hit
                     cached += 1
+            if tracer is not None:
+                tracer.finish(lookup, keys=len(unique_keys), hits=cached)
         self.metrics.sims_cache_hits.inc(cached)
 
         owned: List[str] = []
@@ -681,11 +998,12 @@ class SimulationService:
             job.finished_at = time.time()
             job.progress.completed = job.progress.total
             if self._journal is not None:
-                self._journal.record_done(job)
+                self._journal.record_done(job, trace=self._journal_ctx_locked(job))
             self.metrics.jobs_done.inc()
             wall = job.wall_s()
             if wall is not None:
                 self.metrics.job_wall.observe(wall)
+            self._finish_trace_locked(job, "done")
             self._refresh_gauges_locked()
         job.touch()
 
@@ -695,10 +1013,19 @@ class SimulationService:
             job.state = JobState.FAILED
             job.finished_at = time.time()
             if self._journal is not None:
-                self._journal.record_failed(job)
+                self._journal.record_failed(
+                    job, trace=self._journal_ctx_locked(job)
+                )
             self.metrics.jobs_failed.inc()
+            self._finish_trace_locked(job, "failed")
             self._refresh_gauges_locked()
         job.touch()
+
+    def _journal_ctx_locked(self, job: Job) -> Optional[Tuple[str, Optional[str]]]:
+        """Trace context for the journal's fsync span, if tracing."""
+        if job.trace_id is None:
+            return None
+        return (job.trace_id, self._root_span_id_locked(job.id))
 
 
 def iter_scenarios(job: Job) -> Iterable[ScenarioConfig]:

@@ -12,9 +12,17 @@ Routes::
     GET    /v1/jobs/{id}         status + progress
     GET    /v1/jobs/{id}/result  202 while unfinished, 200 {"results": [...]}
     GET    /v1/jobs/{id}/events  Server-Sent Events progress stream
+    GET    /v1/jobs/{id}/trace   the job's merged fleet trace (span list)
     DELETE /v1/jobs/{id}         cancel pending / delete terminal record
+    POST   /v1/spans             merge worker-produced spans {"spans": [...]}
     GET    /healthz              liveness + job counts
     GET    /metrics              Prometheus-style text exposition
+
+Trace context crosses processes on the ``X-Repro-Trace`` header
+(``trace_id/span_id``): accepted on ``POST /v1/jobs`` (the job joins the
+submitter's trace), returned on the 202 acknowledgement, and attached to
+claim responses so worker spans parent onto the coordinator's
+``shard.lease`` span.
 
 Distributed mode adds the lease protocol and the remote cache tier::
 
@@ -41,6 +49,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.analysis.cache import result_from_payload, result_to_payload
 from repro.errors import ConfigurationError
+from repro.obs.fleet import TRACE_HEADER, format_trace_context, parse_trace_context
 from repro.service.core import (
     AdmissionError,
     JobNotCancellableError,
@@ -144,6 +153,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 return self._with_job(parts[2], self._get_job_result)
             if len(parts) == 4 and parts[3] == "events":
                 return self._with_job(parts[2], self._get_job_events)
+            if len(parts) == 4 and parts[3] == "trace":
+                return self._get_job_trace(parts[2])
         if parts[:2] == ["v1", "leases"] and len(parts) == 2:
             return self._get_leases()
         if parts[:2] == ["v1", "cache"] and len(parts) == 3:
@@ -154,6 +165,8 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         path, parts = self._route()
         if path == "/v1/jobs":
             return self._post_job()
+        if path == "/v1/spans":
+            return self._post_spans()
         if parts[:2] == ["v1", "leases"]:
             if len(parts) == 3 and parts[2] == "claim":
                 return self._post_claim()
@@ -210,8 +223,14 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             priority = int(body.get("priority", 0))
         except (TypeError, ValueError):
             return self._send_error_json(400, "bad request: 'priority' must be an int")
+        trace_parent = parse_trace_context(self.headers.get(TRACE_HEADER))
         try:
-            job = self.service.submit(scenarios, client=client, priority=priority)
+            job = self.service.submit(
+                scenarios,
+                client=client,
+                priority=priority,
+                trace_parent=trace_parent,
+            )
         except ConfigurationError as exc:
             return self._send_error_json(400, f"invalid scenario: {exc}")
         except AdmissionError as exc:
@@ -226,6 +245,7 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 "id": job.id,
                 "state": job.state.value,
                 "scenarios": len(job.scenarios),
+                "trace_id": job.trace_id,
             },
             {"Location": f"/v1/jobs/{job.id}"},
         )
@@ -295,6 +315,26 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
         self.wfile.write(f"event: {event}\ndata: {blob}\n\n".encode("utf-8"))
         self.wfile.flush()
 
+    def _get_job_trace(self, job_id: str) -> None:
+        try:
+            trace = self.service.job_trace(job_id)
+        except JobNotFoundError as exc:
+            return self._send_error_json(404, str(exc))
+        self._send_json(200, trace)
+
+    def _post_spans(self) -> None:
+        try:
+            body = self._read_body()
+        except ValueError as exc:
+            return self._send_error_json(400, f"bad request: {exc}")
+        spans = body.get("spans")
+        if not isinstance(spans, list):
+            return self._send_error_json(400, "bad request: 'spans' must be a list")
+        accepted = self.service.ingest_spans(
+            [blob for blob in spans if isinstance(blob, dict)]
+        )
+        self._send_json(200, {"accepted": accepted})
+
     def _delete_job(self, job_id: str) -> None:
         try:
             job = self.service.cancel(job_id)
@@ -324,7 +364,13 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
             return self._send_error_json(409, str(exc))
         # An idle queue is a 200 with a null lease: the worker backs off
         # and polls again, no error handling needed on its side.
-        self._send_json(200, {"lease": claim})
+        headers: Dict[str, str] = {}
+        trace = (claim or {}).get("trace") or {}
+        if trace.get("trace_id") and trace.get("parent_id"):
+            headers[TRACE_HEADER] = format_trace_context(
+                trace["trace_id"], trace["parent_id"]
+            )
+        self._send_json(200, {"lease": claim}, headers)
 
     def _post_heartbeat(self, lease_id: str) -> None:
         try:
@@ -357,9 +403,16 @@ class ServiceRequestHandler(BaseHTTPRequestHandler):
                 400, f"bad request: unloadable result payload: {exc}"
             )
         failures = {str(key): str(error) for key, error in failures_blob.items()}
+        spans = body.get("spans")
+        if spans is not None and not isinstance(spans, list):
+            return self._send_error_json(400, "bad request: 'spans' must be a list")
         try:
             outcome = self.service.complete_shard(
-                lease_id, results, failures, stats if isinstance(stats, dict) else None
+                lease_id,
+                results,
+                failures,
+                stats if isinstance(stats, dict) else None,
+                spans=spans,
             )
         except NotDistributedError as exc:
             return self._send_error_json(409, str(exc))

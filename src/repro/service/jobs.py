@@ -78,6 +78,9 @@ class Job:
     finished_at: Optional[float] = None
     #: True when this job was reconstructed from a journal after a restart.
     recovered: bool = False
+    #: Fleet trace id (see :mod:`repro.obs.fleet`); every span produced on
+    #: this job's behalf — coordinator- or worker-side — carries it.
+    trace_id: Optional[str] = None
     #: Monotone change counter; bumped by :meth:`touch`.
     version: int = 0  # guarded-by: changed
 
@@ -134,5 +137,6 @@ class Job:
             "finished_at": self.finished_at,
             "wall_s": self.wall_s(),
             "recovered": self.recovered,
+            "trace_id": self.trace_id,
             "version": version,
         }

@@ -42,16 +42,31 @@ import os
 import time
 from dataclasses import dataclass, field as dataclass_field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Set, Union
+from typing import Any, Dict, List, Optional, Set, Tuple, Union
 
 from repro.analysis.cache import result_from_payload, result_to_payload
 from repro.devtools.lockdep import OrderedLock, blocking
+from repro.obs.fleet import FleetTracer
 from repro.service.jobs import Job, JobProgress, JobState
 
 PathLike = Union[str, Path]
 
 #: Bump when journal record semantics change incompatibly.
 JOURNAL_FORMAT_VERSION = 1
+
+
+def _job_blob(job: Job) -> Dict[str, Any]:
+    """The ``submit`` record's job payload (shared with compaction)."""
+    blob: Dict[str, Any] = {
+        "id": job.id,
+        "client": job.client,
+        "priority": job.priority,
+        "scenarios": job.scenarios,
+        "submitted_at": job.submitted_at,
+    }
+    if job.trace_id is not None:
+        blob["trace_id"] = job.trace_id
+    return blob
 
 
 class JobJournal:
@@ -67,19 +82,40 @@ class JobJournal:
         self._lock = OrderedLock("journal.io", rank=60, io_lock=True, reentrant=False)
         self._handle = open(self.path, "a", encoding="utf-8")  # guarded-by: _lock
         self._closed = False  # guarded-by: _lock
+        #: Optional fleet tracer; synced appends then produce
+        #: ``journal.fsync`` spans (opened before and closed after the I/O
+        #: lock region — journal.io is an I/O leaf, nothing may be
+        #: acquired while it is held).  Set by the owning service.
+        self.tracer: Optional[FleetTracer] = None
 
     # -- writing ------------------------------------------------------------
 
-    def _append(self, record: Dict[str, Any], sync: bool = False) -> None:
+    def _append(
+        self,
+        record: Dict[str, Any],
+        sync: bool = False,
+        trace: Optional[Tuple[str, Optional[str]]] = None,
+    ) -> None:
         line = json.dumps(record, sort_keys=True)
+        tracer = self.tracer
+        span = None
+        if sync and tracer is not None and trace is not None:
+            span = tracer.start(
+                "journal.fsync",
+                trace[0],
+                parent_id=trace[1],
+                attrs={"event": record.get("event")},
+            )
         with self._lock:
-            if self._closed:  # drain already flushed; late writers are no-ops
-                return
-            self._handle.write(line + "\n")
-            self._handle.flush()
-            if sync:
-                with blocking("journal.fsync"):
-                    os.fsync(self._handle.fileno())
+            if not self._closed:  # drain already flushed; late writes are no-ops
+                self._handle.write(line + "\n")
+                self._handle.flush()
+                if sync:
+                    with blocking("journal.fsync"):
+                        os.fsync(self._handle.fileno())
+        tracer_obj = self.tracer
+        if span is not None and tracer_obj is not None:
+            tracer_obj.finish(span)
 
     def record_submit(self, job: Job) -> None:
         self._append(
@@ -87,13 +123,7 @@ class JobJournal:
                 "event": "submit",
                 "v": JOURNAL_FORMAT_VERSION,
                 "t": time.time(),
-                "job": {
-                    "id": job.id,
-                    "client": job.client,
-                    "priority": job.priority,
-                    "scenarios": job.scenarios,
-                    "submitted_at": job.submitted_at,
-                },
+                "job": _job_blob(job),
             }
         )
 
@@ -102,7 +132,9 @@ class JobJournal:
             {"event": "state", "t": time.time(), "id": job.id, "state": job.state.value}
         )
 
-    def record_done(self, job: Job) -> None:
+    def record_done(
+        self, job: Job, trace: Optional[Tuple[str, Optional[str]]] = None
+    ) -> None:
         self._append(
             {
                 "event": "done",
@@ -113,12 +145,16 @@ class JobJournal:
                 "results": [result_to_payload(r) for r in job.results or []],
             },
             sync=True,
+            trace=trace,
         )
 
-    def record_failed(self, job: Job) -> None:
+    def record_failed(
+        self, job: Job, trace: Optional[Tuple[str, Optional[str]]] = None
+    ) -> None:
         self._append(
             {"event": "failed", "t": time.time(), "id": job.id, "error": job.error},
             sync=True,
+            trace=trace,
         )
 
     def record_cancelled(self, job: Job) -> None:
@@ -130,6 +166,24 @@ class JobJournal:
         """A running job handed back to ``pending`` (graceful drain)."""
         self._append(
             {"event": "checkpoint", "t": time.time(), "id": job.id}, sync=True
+        )
+
+    def record_spans(self, job_id: str, trace_id: str, spans: List[Dict[str, Any]]) -> None:
+        """Persist finished trace spans for ``job_id`` (crash durability).
+
+        Appended without fsync: spans are diagnostics, and losing the tail
+        of a trace in a crash is acceptable where losing results is not.
+        """
+        if not spans:
+            return
+        self._append(
+            {
+                "event": "spans",
+                "t": time.time(),
+                "id": job_id,
+                "trace_id": trace_id,
+                "spans": spans,
+            }
         )
 
     def record_deleted(self, job_id: str) -> None:
@@ -220,11 +274,18 @@ class JobJournal:
 
     # -- compaction ---------------------------------------------------------
 
-    def compact(self, jobs: List[Job]) -> None:
+    def compact(
+        self,
+        jobs: List[Job],
+        traces: Optional[Dict[str, List[Dict[str, Any]]]] = None,
+    ) -> None:
         """Rewrite the journal to one submit (+ terminal) record per job.
 
-        Atomic: written to a temp file and renamed over the old journal,
-        so a crash mid-compaction leaves the previous journal intact.
+        ``traces`` (job id -> finished span dicts) carries each surviving
+        job's journaled trace across the rewrite, so restarts do not
+        orphan span history.  Atomic: written to a temp file and renamed
+        over the old journal, so a crash mid-compaction leaves the
+        previous journal intact.
         """
         tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
         with self._lock:
@@ -239,18 +300,27 @@ class JobJournal:
                                 "event": "submit",
                                 "v": JOURNAL_FORMAT_VERSION,
                                 "t": time.time(),
-                                "job": {
-                                    "id": job.id,
-                                    "client": job.client,
-                                    "priority": job.priority,
-                                    "scenarios": job.scenarios,
-                                    "submitted_at": job.submitted_at,
-                                },
+                                "job": _job_blob(job),
                             },
                             sort_keys=True,
                         )
                         + "\n"
                     )
+                    spans = (traces or {}).get(job.id)
+                    if spans and job.trace_id is not None:
+                        out.write(
+                            json.dumps(
+                                {
+                                    "event": "spans",
+                                    "t": time.time(),
+                                    "id": job.id,
+                                    "trace_id": job.trace_id,
+                                    "spans": spans,
+                                },
+                                sort_keys=True,
+                            )
+                            + "\n"
+                        )
                     terminal: Optional[Dict[str, Any]] = None
                     if job.state is JobState.DONE:
                         terminal = {
@@ -357,6 +427,49 @@ def replay_shards(path: PathLike) -> Dict[str, ShardRecovery]:
     return history
 
 
+def replay_spans(path: PathLike) -> Dict[str, List[Dict[str, Any]]]:
+    """Fold a journal's ``spans`` records into per-job span lists.
+
+    Keys are job ids; values are the journaled span dicts in append
+    order (duplicates by ``span_id`` dropped, first record wins, so a
+    compacted prefix plus post-compaction appends fold cleanly).
+    ``deleted`` records drop the job's trace along with the job.
+    """
+    path = Path(path)
+    if not path.exists():
+        return {}
+    traces: Dict[str, List[Dict[str, Any]]] = {}
+    seen: Dict[str, Set[str]] = {}
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        event = record.get("event")
+        if event == "spans":
+            job_id = record.get("id")
+            spans = record.get("spans")
+            if not job_id or not isinstance(spans, list):
+                continue
+            bucket = traces.setdefault(job_id, [])
+            ids = seen.setdefault(job_id, set())
+            for blob in spans:
+                if not isinstance(blob, dict):
+                    continue
+                span_id = blob.get("span_id")
+                if not isinstance(span_id, str) or span_id in ids:
+                    continue
+                ids.add(span_id)
+                bucket.append(blob)
+        elif event == "deleted":
+            traces.pop(record.get("id", ""), None)
+            seen.pop(record.get("id", ""), None)
+    return traces
+
+
 def replay(path: PathLike) -> List[Job]:
     """Reconstruct jobs from a journal, oldest submission first.
 
@@ -390,6 +503,7 @@ def replay(path: PathLike) -> List[Job]:
                 priority=int(blob.get("priority", 0)),
                 scenarios=blob["scenarios"],
                 submitted_at=float(blob.get("submitted_at", record.get("t", 0.0))),
+                trace_id=blob.get("trace_id"),
             )
             if job_id not in jobs:
                 order.append(job_id)

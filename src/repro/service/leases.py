@@ -21,8 +21,12 @@ already owned by some job's in-flight shard is not re-packed — later jobs
 register as waiters and are assembled when the owning shard lands.
 
 The board is deliberately clock-free (every method takes ``now``) and
-never calls back into the service; callers finish the jobs that
-:meth:`ShardBoard.complete`/:meth:`ShardBoard.add_job` return.
+never calls back into the service *under its lock*; callers finish the
+jobs that :meth:`ShardBoard.complete`/:meth:`ShardBoard.add_job` return.
+The one outward signal is the optional ``on_trace`` observer — shard
+lifecycle events (queued/claimed/requeued) buffered inside the lock and
+delivered after it is released, which is how the service keeps per-shard
+``queue.wait`` spans without the board knowing about tracing.
 """
 
 from __future__ import annotations
@@ -30,7 +34,7 @@ from __future__ import annotations
 import uuid
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Deque, Dict, Iterable, List, Optional, Set, Tuple
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.analysis.cache import ResultCache, scenario_hash
 from repro.analysis.runner import estimate_cost, grid_point_key
@@ -166,6 +170,19 @@ class ShardBoard:
         self.shards_requeued = 0
         self.shards_completed = 0
         self.heartbeats = 0
+        #: Optional shard-lifecycle observer: ``(event, shard_id, job_id)``
+        #: with event one of ``queued``/``claimed``/``requeued``.  Always
+        #: invoked *after* the board lock is released (events buffer inside
+        #: the lock), so the observer may take service-layer locks freely.
+        self.on_trace: Optional[Callable[[str, str, str], None]] = None
+
+    def _emit_trace(self, events: List[Tuple[str, str, str]]) -> None:
+        """Deliver buffered lifecycle events; never under ``_lock``."""
+        hook = self.on_trace
+        if hook is None:
+            return
+        for event, shard_id, job_id in events:
+            hook(event, shard_id, job_id)
 
     # -- job intake ----------------------------------------------------------
 
@@ -215,7 +232,9 @@ class ShardBoard:
                 self.journal.record_shard_plan(
                     job.id, [(shard.id, shard.keys) for shard in shards]
                 )
+            events = [("queued", shard.id, job.id) for shard in shards]
         job.touch()
+        self._emit_trace(events)
         return None
 
     def _pack(
@@ -275,6 +294,7 @@ class ShardBoard:
 
     def claim(self, worker: str, now: float) -> Optional[Lease]:
         """Grant the front pending shard to ``worker`` (None when idle)."""
+        granted: Optional[Lease] = None
         with self._lock:
             self._workers_seen[worker] = now
             while self._queue:
@@ -297,8 +317,11 @@ class ShardBoard:
                     self.journal.record_lease(
                         lease.id, shard.id, shard.job_id, worker, lease.deadline
                     )
-                return lease
-            return None
+                granted = lease
+                break
+        if granted is not None:
+            self._emit_trace([("claimed", granted.shard.id, granted.shard.job_id)])
+        return granted
 
     def heartbeat(self, lease_id: str, now: float) -> Lease:
         """Renew an active lease's deadline; raises on unknown/expired."""
@@ -320,6 +343,7 @@ class ShardBoard:
         already waited one full lease through a dead worker.
         """
         expired: List[Lease] = []
+        events: List[Tuple[str, str, str]] = []
         with self._lock:
             overdue = [
                 lease_id
@@ -334,12 +358,14 @@ class ShardBoard:
                     shard.requeues += 1
                     self._queue.appendleft(shard.id)
                     self.shards_requeued += 1
+                    events.append(("requeued", shard.id, shard.job_id))
                 self.leases_expired += 1
                 if self.journal is not None:
                     self.journal.record_lease_expired(
                         lease_id, shard.id, shard.job_id, lease.worker
                     )
                 expired.append(lease)
+        self._emit_trace(events)
         return expired
 
     def complete(

@@ -14,11 +14,16 @@ import re
 from typing import Dict, Optional
 
 from repro.devtools.lockdep import OrderedLock
+from repro.obs.fleet import SPAN_KINDS
 from repro.obs.instruments import Counter, Gauge, Histogram, MetricsRegistry
 
 #: Wall-time buckets for one job, in seconds: sub-second cache hits up to
 #: half-hour paper-scale sweeps.
 JOB_WALL_BUCKETS = (0.1, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 120.0, 300.0, 600.0, 1800.0)
+
+#: Buckets for one traced stage (span) of a job: sub-millisecond journal
+#: fsyncs and cache probes up to multi-minute shard executions.
+STAGE_WALL_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0, 300.0)
 
 _NAME_SANITISER = re.compile(r"[^a-zA-Z0-9_]")
 
@@ -71,6 +76,12 @@ class ServiceMetrics:
         self.cache_remote_hits: Counter = reg.counter("service.cache.remote_hits")
         self.cache_remote_misses: Counter = reg.counter("service.cache.remote_misses")
         self.cache_remote_stores: Counter = reg.counter("service.cache.remote_stores")
+        # Per-stage latency: one histogram per fleet span kind, fed by the
+        # tracer's on-finish hook (serialised: HTTP/worker threads race).
+        self._stage_wall: Dict[str, Histogram] = {
+            kind: reg.histogram(f"service.stage.{kind}.wall_s", STAGE_WALL_BUCKETS)
+            for kind in sorted(SPAN_KINDS)
+        }
 
     def set_job_gauges(self, queue_depth: int, pending: int, running: int) -> None:
         self.queue_depth.set(queue_depth)
@@ -89,6 +100,14 @@ class ServiceMetrics:
     def remote_store(self) -> None:
         with self._lock:
             self.cache_remote_stores.inc()
+
+    def observe_stage(self, kind: str, wall_s: float) -> None:
+        """Record one finished span's wall time (unknown kinds ignored)."""
+        histogram = self._stage_wall.get(kind)
+        if histogram is None:
+            return
+        with self._lock:
+            histogram.observe(wall_s)
 
     def sync_fleet(self, counts: Dict[str, int]) -> None:
         """Fold a shard-board :meth:`~…ShardBoard.counts` snapshot in."""

@@ -24,6 +24,13 @@ The claim/heartbeat loops lean on :class:`ServiceClient`'s bounded
 transient-error retry, so a coordinator restart stalls the fleet instead
 of crashing it.  SIGTERM/SIGINT finish the shard in hand, deliver it,
 and exit.
+
+Every claim carries the coordinator's trace context (``claim["trace"]``),
+so the worker's side of the job — ``shard.execute``, per-task
+``task.run``, ``cache.lookup``/``cache.remote`` — is recorded as spans in
+the same trace and shipped back with the completion (see
+:mod:`repro.obs.fleet`).  Lifecycle logging goes through the structured
+JSONL logger (:mod:`repro.obs.slog`), one parseable line per event.
 """
 # repro-lint: disable-file=DET001 -- poll/heartbeat cadence is wall-clock
 # serving machinery; simulation state never reads it.
@@ -37,10 +44,15 @@ import socket
 import sys
 import tempfile
 import threading
-from typing import Any, Dict, List, Optional, Sequence
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.analysis.cache import HTTPCacheTier, TieredResultCache
 from repro.analysis.runner import SweepEngine, SweepExecutionError, TaskFn
+from repro.metrics.collector import SimulationResult
+from repro.obs.fleet import FleetTracer, Span
+from repro.obs.slog import StructuredLogger
 from repro.scenarios.io import scenario_from_dict
 from repro.service.client import ServiceClient, ServiceError
 from repro.version import __version__
@@ -50,6 +62,51 @@ __all__ = ["ShardWorker", "main"]
 
 def default_worker_id() -> str:
     return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _TracedRemoteTier(HTTPCacheTier):
+    """The coordinator's ``/v1/cache`` tier with ``cache.remote`` spans.
+
+    Remote round-trips are where a worker's non-simulation time goes, so
+    every fetch and push of the shard in hand becomes a span (hit/miss
+    recorded as attributes).  Outside a shard the spans are no-ops.
+    """
+
+    def __init__(self, worker: "ShardWorker", base_url: str, timeout: float) -> None:
+        super().__init__(base_url, timeout)
+        self._worker = worker
+
+    def get_entry(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._worker.trace_span("cache.remote", op="get", key=key) as span:
+            entry = super().get_entry(key)
+            if span is not None:
+                span.attrs["hit"] = entry is not None
+            return entry
+
+    def put_entry(self, key: str, entry: Dict[str, Any]) -> bool:
+        with self._worker.trace_span("cache.remote", op="put", key=key) as span:
+            stored = super().put_entry(key, entry)
+            if span is not None:
+                span.attrs["stored"] = stored
+            return stored
+
+
+class _TracedTieredCache(TieredResultCache):
+    """A :class:`TieredResultCache` whose ``get`` is a ``cache.lookup``
+    span; the remote leg nests as a ``cache.remote`` child."""
+
+    def __init__(
+        self, worker: "ShardWorker", root: str, remote: HTTPCacheTier
+    ) -> None:
+        super().__init__(root, remote)
+        self._worker = worker
+
+    def get(self, key: str) -> Optional[SimulationResult]:
+        with self._worker.trace_span("cache.lookup", key=key) as span:
+            hit = super().get(key)
+            if span is not None:
+                span.attrs["hit"] = hit is not None
+            return hit
 
 
 class ShardWorker:
@@ -65,6 +122,8 @@ class ShardWorker:
         poll_s: float = 0.5,
         task_fn: Optional[TaskFn] = None,
         verbose: bool = False,
+        tracer: Optional[FleetTracer] = None,
+        log: Optional[StructuredLogger] = None,
     ) -> None:
         self.client = client
         self.worker_id = worker_id or default_worker_id()
@@ -73,16 +132,28 @@ class ShardWorker:
         self.poll_s = poll_s
         self._task_fn = task_fn
         self.verbose = verbose
+        self.tracer = tracer if tracer is not None else FleetTracer(proc=self.worker_id)
+        base_log = log if log is not None else StructuredLogger(
+            "worker", level="info" if verbose else "warning"
+        )
+        self.log = base_log.bind(worker=self.worker_id)
         if cache_dir is None:
             cache_dir = tempfile.mkdtemp(prefix="repro-worker-cache-")
         # Local tier + the coordinator's /v1/cache remote tier: everything
-        # this worker computes becomes a fleet-wide hit immediately.
-        self.cache = TieredResultCache(
-            cache_dir, HTTPCacheTier(client.base_url, timeout=client.timeout)
+        # this worker computes becomes a fleet-wide hit immediately.  Both
+        # tiers are span-traced against the shard in hand.
+        self.cache: TieredResultCache = _TracedTieredCache(
+            self,
+            cache_dir,
+            _TracedRemoteTier(self, client.base_url, timeout=client.timeout),
         )
         self._stop = threading.Event()
         self.shards_done = 0
         self.executed = 0
+        # Trace context of the shard in hand.  Only the worker's main loop
+        # (one thread) touches these; the heartbeat sidecar never traces.
+        self._trace_ctx: Optional[Tuple[str, str]] = None
+        self._span_stack: List[str] = []
 
     def stop(self) -> None:
         """Finish (and deliver) the shard in hand, then exit the loop."""
@@ -91,6 +162,47 @@ class ShardWorker:
     @property
     def stopping(self) -> bool:
         return self._stop.is_set()
+
+    # -- tracing --------------------------------------------------------------
+
+    @contextmanager
+    def trace_span(self, kind: str, **attrs: Any) -> Iterator[Optional[Span]]:
+        """A worker-side span scoped to the shard in hand.
+
+        Yields ``None`` (and records nothing) outside a traced shard, so
+        the traced cache tiers cost one attribute check when idle.  Spans
+        nest: the innermost open span is the next one's parent, rooted at
+        the shard's ``shard.execute`` span.  Main-loop thread only.
+        """
+        ctx = self._trace_ctx
+        if ctx is None:
+            yield None
+            return
+        parent = self._span_stack[-1] if self._span_stack else ctx[1]
+        span = self.tracer.start(kind, ctx[0], parent_id=parent, attrs=attrs)
+        if span is None:
+            yield None
+            return
+        self._span_stack.append(span.span_id)
+        try:
+            yield span
+        except BaseException as exc:
+            span.attrs["error"] = f"{type(exc).__name__}: {exc}"
+            raise
+        finally:
+            self._span_stack.pop()
+            self.tracer.finish(span)
+
+    def _traced_task(self, payload: dict) -> SimulationResult:
+        with self.trace_span("task.run", seed=payload.get("seed")):
+            return self._run_task(payload)
+
+    def _run_task(self, payload: dict) -> SimulationResult:
+        if self._task_fn is not None:
+            return self._task_fn(payload)
+        from repro.scenarios.builder import run_scenario
+
+        return run_scenario(scenario_from_dict(payload))
 
     def run(self, max_shards: Optional[int] = None) -> int:
         """The worker loop; returns the number of shards delivered."""
@@ -102,7 +214,7 @@ class ShardWorker:
             except ServiceError as exc:
                 # Unreachable past the client's retries, or the service
                 # is not distributed (409): back off and try again.
-                self._log(f"claim failed ({exc}); backing off")
+                self.log.info("claim.failed", error=str(exc))
                 if self._stop.wait(self.poll_s):
                     break
                 continue
@@ -120,9 +232,27 @@ class ShardWorker:
         ttl_s = float(claim.get("ttl_s", 10.0))
         tasks = list(claim.get("tasks", []))
         keys: List[str] = [str(task["key"]) for task in tasks]
-        self._log(
-            f"claimed shard {claim.get('shard')} "
-            f"({len(keys)} task(s), lease {lease_id})"
+        trace_blob = claim.get("trace") or {}
+        trace_id = str(trace_blob.get("trace_id") or "") or None
+        exec_span = self.tracer.start(
+            "shard.execute",
+            trace_id,
+            parent_id=trace_blob.get("parent_id"),
+            attrs={
+                "shard": claim.get("shard"),
+                "lease": lease_id,
+                "worker": self.worker_id,
+                "tasks": len(keys),
+            },
+        )
+        if exec_span is not None and trace_id is not None:
+            self._trace_ctx = (trace_id, exec_span.span_id)
+        self.log.info(
+            "shard.claimed",
+            shard=claim.get("shard"),
+            lease=lease_id,
+            tasks=len(keys),
+            trace=trace_id,
         )
         beat_stop = threading.Event()
         beater = threading.Thread(
@@ -136,11 +266,16 @@ class ShardWorker:
         failures: Dict[str, str] = {}
         stats = {"executed": 0, "cache_hits": 0}
         try:
+            # task.run spans only exist in-process: with a process pool the
+            # engine ships the task to children, whose tracers we never see.
+            task_fn = self._task_fn
+            if self._trace_ctx is not None and self.processes == 1:
+                task_fn = self._traced_task
             engine = SweepEngine(
                 processes=self.processes,
                 cache=self.cache,
                 retries=self.retries,
-                task_fn=self._task_fn,
+                task_fn=task_fn,
                 seed_batch=max(1, int(claim.get("seed_batch", 1))),
             )
             configs = [scenario_from_dict(task["scenario"]) for task in tasks]
@@ -169,20 +304,44 @@ class ShardWorker:
         finally:
             beat_stop.set()
             beater.join()
+            self._trace_ctx = None
+            self.tracer.finish(
+                exec_span,
+                executed=int(stats.get("executed", 0)),
+                cache_hits=int(stats.get("cache_hits", 0)),
+                failed=len(failures),
+            )
+        spans: List[Dict[str, Any]] = []
+        if trace_id is not None and exec_span is not None:
+            spans = self.tracer.trace_dicts(trace_id)
+            self.tracer.discard(trace_id)
         try:
-            ack = self.client.complete(lease_id, results, failures, stats)
+            ack = self.client.complete(
+                lease_id, results, failures, stats, spans=spans or None
+            )
         except ServiceError as exc:
             # Coordinator unreachable past retries, or it restarted and no
             # longer knows the lease.  Nothing is lost: every result lives
             # in this worker's local tier and resolves the re-queued shard
-            # instantly on the next claim.
-            self._log(f"delivery of lease {lease_id} failed ({exc})")
+            # instantly on the next claim.  The spans still merge if the
+            # coordinator is up (a restarted one knows the job's trace).
+            self.log.warning("delivery.failed", lease=lease_id, error=str(exc))
+            if spans:
+                try:
+                    self.client.post_spans(spans)
+                except ServiceError:
+                    self.log.info("spans.dropped", lease=lease_id, count=len(spans))
             return
         self.shards_done += 1
         self.executed += int(stats.get("executed", 0))
-        self._log(
-            f"delivered lease {lease_id}: accepted={ack.get('accepted')} "
-            f"late={ack.get('late')} finished_jobs={ack.get('finished_jobs')}"
+        self.log.info(
+            "shard.delivered",
+            lease=lease_id,
+            accepted=ack.get("accepted"),
+            late=ack.get("late"),
+            finished_jobs=ack.get("finished_jobs"),
+            executed=stats.get("executed"),
+            cache_hits=stats.get("cache_hits"),
         )
 
     def _heartbeat_loop(
@@ -196,14 +355,10 @@ class ShardWorker:
                 if exc.status == 404:
                     # The lease lapsed (e.g. a long GC pause): stop renewing
                     # but keep executing — completion is accepted late.
-                    self._log(f"lease {lease_id} lapsed; finishing anyway")
+                    self.log.info("lease.lapsed", lease=lease_id)
                     return
                 # Transient even after client retries: keep beating; the
                 # coordinator may come back before the lease expires.
-
-    def _log(self, message: str) -> None:
-        if self.verbose:
-            print(f"[{self.worker_id}] {message}", file=sys.stderr, flush=True)
 
 
 # -- repro-worker ------------------------------------------------------------
@@ -269,6 +424,19 @@ def _build_parser() -> argparse.ArgumentParser:
         "--timeout", type=float, default=30.0, help="per-request timeout (s)"
     )
     parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="do not record or ship fleet spans for executed shards",
+    )
+    parser.add_argument(
+        "--flight-dir",
+        metavar="DIR",
+        default=None,
+        help="arm a flight recorder per simulation: crash dumps the last "
+        "trace records to DIR, and SIGTERM mid-shard snapshots the run "
+        "in flight (implies the built-in run-scenario task)",
+    )
+    parser.add_argument(
         "--verbose", action="store_true", help="log claims and deliveries"
     )
     return parser
@@ -292,6 +460,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _run_worker(args: argparse.Namespace) -> int:
     worker_id = args.worker_id or default_worker_id()
     client = ServiceClient(args.url, client_id=worker_id, timeout=args.timeout)
+    flight_task = None
+    if args.flight_dir is not None:
+        from repro.obs.flight import FlightRecordingTaskFn
+
+        flight_task = FlightRecordingTaskFn(Path(args.flight_dir))
     worker = ShardWorker(
         client,
         worker_id=worker_id,
@@ -299,16 +472,32 @@ def _run_worker(args: argparse.Namespace) -> int:
         processes=args.processes,
         retries=args.retries,
         poll_s=args.poll,
+        task_fn=flight_task,
         verbose=args.verbose,
+        tracer=FleetTracer(proc=worker_id, enabled=not args.no_trace),
     )
+    log = worker.log
 
     def _on_signal(signum: int, _frame: Any) -> None:
+        # print, not slog: the handler interrupts the main thread, which
+        # may be mid-log and holding the logger's non-reentrant I/O lock.
         print(
             f"[{worker_id}] signal {signal.Signals(signum).name}: finishing "
             "current shard, then exiting",
             file=sys.stderr,
             flush=True,
         )
+        if flight_task is not None:
+            # Mid-shard SIGTERM: snapshot the simulation in flight before
+            # it finishes cleanly — the post-mortem for "why was this
+            # worker killed while slow".
+            dumped = flight_task.dump_now(tag="sigterm")
+            if dumped is not None:
+                print(
+                    f"[{worker_id}] flight ring dumped to {dumped}",
+                    file=sys.stderr,
+                    flush=True,
+                )
         worker.stop()
 
     signal.signal(signal.SIGTERM, _on_signal)
@@ -319,12 +508,7 @@ def _run_worker(args: argparse.Namespace) -> int:
         flush=True,
     )
     delivered = worker.run(max_shards=args.max_shards)
-    print(
-        f"[{worker_id}] done: {delivered} shard(s) delivered, "
-        f"{worker.executed} simulation(s) executed",
-        file=sys.stderr,
-        flush=True,
-    )
+    log.warning("worker.done", delivered=delivered, executed=worker.executed)
     return 0
 
 

@@ -1,0 +1,111 @@
+"""Unit tests for the structured JSONL logger."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro.obs.slog import LEVELS, StructuredLogger
+
+
+def capture_logger(**kwargs):
+    stream = io.StringIO()
+    kwargs.setdefault("clock", lambda: 123.456789)
+    return StructuredLogger("test", stream=stream, **kwargs), stream
+
+
+def lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+def test_one_json_line_per_event():
+    log, stream = capture_logger()
+    log.info("job.submitted", job="j-1", scenarios=3)
+    [record] = lines(stream)
+    assert record == {
+        "ts": 123.456789,
+        "level": "info",
+        "component": "test",
+        "event": "job.submitted",
+        "job": "j-1",
+        "scenarios": 3,
+    }
+
+
+def test_levels_filter():
+    log, stream = capture_logger(level="warning")
+    log.debug("noise")
+    log.info("noise")
+    log.warning("kept")
+    log.error("kept-too")
+    assert [r["level"] for r in lines(stream)] == ["warning", "error"]
+    assert not log.enabled_for("info")
+    assert log.enabled_for("error")
+
+
+def test_level_order_matches_declaration():
+    assert LEVELS == ("debug", "info", "warning", "error")
+
+
+def test_bind_merges_fields_and_shares_stream():
+    log, stream = capture_logger()
+    child = log.bind(worker="w1", shard="s-9")
+    child.info("claimed", lease="l-1")
+    grandchild = child.bind(shard="s-10")  # rebind overrides
+    grandchild.info("claimed")
+    first, second = lines(stream)
+    assert first["worker"] == "w1" and first["shard"] == "s-9"
+    assert first["lease"] == "l-1"
+    assert second["shard"] == "s-10" and second["worker"] == "w1"
+
+
+def test_call_fields_override_bound_fields():
+    log, stream = capture_logger()
+    log.bind(job="bound").info("event", job="call-site")
+    [record] = lines(stream)
+    assert record["job"] == "call-site"
+
+
+def test_non_json_values_fall_back_to_str():
+    log, stream = capture_logger()
+    log.info("event", path=object())
+    [record] = lines(stream)
+    assert isinstance(record["path"], str)
+
+
+def test_closed_stream_is_swallowed():
+    stream = io.StringIO()
+    log = StructuredLogger("test", stream=stream)
+    stream.close()
+    log.info("whatever")  # must not raise
+
+
+def test_unknown_level_rejected():
+    log, _ = capture_logger()
+    with pytest.raises(ValueError):
+        log.log("loud", "event")
+
+
+def test_concurrent_writers_keep_lines_whole():
+    log, stream = capture_logger()
+
+    def spam(n):
+        for i in range(50):
+            log.info("tick", writer=n, i=i, payload="x" * 64)
+
+    threads = [threading.Thread(target=spam, args=(n,)) for n in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    records = lines(stream)  # every line parses -> no interleaving
+    assert len(records) == 200
+
+
+def test_trace_correlation_fields_pass_through():
+    log, stream = capture_logger()
+    log.bind(trace="t-abc").info("shard.claimed", span="s-1")
+    [record] = lines(stream)
+    assert record["trace"] == "t-abc"
+    assert record["span"] == "s-1"

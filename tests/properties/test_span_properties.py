@@ -1,0 +1,109 @@
+"""Property-based tests for fleet trace spans.
+
+Spans cross two serialisation boundaries — the ``X-Repro-Trace``-tagged
+shard delivery and the journal — so :class:`~repro.obs.fleet.Span` must
+round-trip through JSON exactly, and the pure analysis helpers must stay
+well-behaved on any structurally valid trace (parents drawn from earlier
+spans, so acyclic by construction).
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.fleet import (
+    SPAN_KINDS,
+    Span,
+    critical_path,
+    trace_breakdown,
+    trace_coverage,
+    union_seconds,
+    validate_spans,
+)
+
+attr_values = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=12),
+)
+
+attrs = st.dictionaries(
+    st.text(min_size=1, max_size=8), attr_values, max_size=4
+)
+
+
+@st.composite
+def span_lists(draw):
+    """A list of spans whose parents point at earlier spans (acyclic)."""
+    count = draw(st.integers(min_value=0, max_value=12))
+    spans = []
+    for index in range(count):
+        start = draw(st.floats(min_value=0.0, max_value=1e3, allow_nan=False))
+        open_span = draw(st.booleans()) and index > 0
+        parent = None
+        if index > 0 and draw(st.booleans()):
+            parent = spans[draw(st.integers(0, index - 1))].span_id
+        spans.append(
+            Span(
+                trace_id="t-prop",
+                span_id=f"s-{index}",
+                kind=draw(st.sampled_from(sorted(SPAN_KINDS))),
+                proc=draw(st.sampled_from(["coordinator", "w1", "w2"])),
+                start=start,
+                end=None
+                if open_span
+                else start
+                + draw(st.floats(min_value=0.0, max_value=60.0, allow_nan=False)),
+                parent_id=parent,
+                attrs=draw(attrs),
+            )
+        )
+    return spans
+
+
+@given(spans=span_lists())
+@settings(max_examples=100)
+def test_spans_round_trip_through_json(spans):
+    for span in spans:
+        wire = json.loads(json.dumps(span.to_dict()))
+        assert Span.from_dict(wire) == span
+
+
+@given(spans=span_lists())
+@settings(max_examples=100)
+def test_parent_links_stay_acyclic_and_analysis_is_total(spans):
+    blobs = [span.to_dict() for span in spans]
+    assert validate_spans(blobs) == []  # unique ids, no cycles
+    coverage = trace_coverage(blobs)
+    assert 0.0 <= coverage["coverage"] <= 1.0 + 1e-9
+    assert coverage["covered_s"] <= coverage["root_s"] + 1e-9
+    path = critical_path(blobs)
+    assert len(path) <= len(blobs)
+    breakdown = trace_breakdown(blobs)
+    assert sum(k["count"] for k in breakdown["by_kind"].values()) == len(spans)
+    for row in breakdown["by_kind"].values():
+        assert row["busy_s"] <= row["total_s"] + 1e-9  # union never exceeds sum
+
+
+@given(
+    windows=st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+            st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        ),
+        max_size=16,
+    )
+)
+@settings(max_examples=100)
+def test_union_seconds_is_bounded_by_the_sum_and_the_hull(windows):
+    union = union_seconds(windows)
+    forward = [(a, b) for a, b in windows if b > a]
+    assert union <= sum(b - a for a, b in forward) + 1e-9
+    if forward:
+        hull = max(b for _, b in forward) - min(a for a, _ in forward)
+        assert union <= hull + 1e-9
+    else:
+        assert union == 0.0

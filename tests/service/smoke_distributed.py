@@ -9,10 +9,13 @@ through the production process/signal path:
 2. ``SIGKILL``-ing a worker mid-sweep loses no grid points: the janitor
    expires its lease, the shard is requeued, and a second worker
    finishes the job;
-3. every result a worker computes is pushed to the coordinator's remote
+3. the job's merged fleet trace carries spans from the coordinator AND
+   the surviving worker, covers >=95% of the job wall, and renders
+   through the ``repro-trace job`` explainer;
+4. every result a worker computes is pushed to the coordinator's remote
    cache tier (``repro_service_cache_remote_stores`` in ``/metrics``),
    so a warm resubmission completes without a single new execution;
-4. SIGTERM stops workers and drains the coordinator gracefully.
+5. SIGTERM stops workers and drains the coordinator gracefully.
 
 Run from the repo root::
 
@@ -122,6 +125,53 @@ def _wait_for_active_lease(url, timeout_s=30.0):
     raise SystemExit("FAIL: no worker ever claimed a lease")
 
 
+def _check_job_trace(workdir, url):
+    """The cold job's merged trace: two processes, >=95% wall coverage,
+    and the ``repro-trace job`` explainer renders it."""
+    import urllib.request
+
+    from repro.obs.fleet import trace_coverage
+
+    with urllib.request.urlopen(f"{url}/v1/jobs", timeout=5.0) as response:
+        jobs = json.loads(response.read().decode("utf-8"))["jobs"]
+    done = [job for job in jobs if job.get("state") == "done"]
+    if not done:
+        raise SystemExit(f"FAIL: no finished job to trace, jobs={jobs}")
+    job_id = done[0]["id"]
+    with urllib.request.urlopen(
+        f"{url}/v1/jobs/{job_id}/trace", timeout=5.0
+    ) as response:
+        trace = json.loads(response.read().decode("utf-8"))
+    spans = trace.get("spans") or []
+    procs = sorted({span.get("proc") for span in spans})
+    if len(procs) < 2:
+        raise SystemExit(
+            f"FAIL: merged trace should span coordinator + worker, procs={procs}"
+        )
+    coverage = trace_coverage(spans)
+    if coverage["coverage"] < 0.95:
+        raise SystemExit(
+            f"FAIL: trace covers {coverage['coverage']:.1%} of the job wall "
+            f"(< 95%); {len(spans)} spans from {procs}"
+        )
+    trace_path = workdir / "cold-trace.json"
+    trace_path.write_text(json.dumps(trace))
+    explain = subprocess.run(
+        [sys.executable, "-m", "repro.obs.tracecli", "job", str(trace_path)],
+        cwd=str(REPO_ROOT), env=_env(),
+        capture_output=True, text=True, timeout=60,
+    )
+    if explain.returncode != 0 or "where did the time go" not in explain.stdout:
+        raise SystemExit(
+            f"FAIL: repro-trace job exited {explain.returncode}:\n"
+            f"{explain.stdout}\n{explain.stderr}"
+        )
+    print(
+        f"== trace: {len(spans)} spans from {len(procs)} processes "
+        f"({', '.join(procs)}) cover {coverage['coverage']:.1%} of the job"
+    )
+
+
 def _metrics(url):
     proc = subprocess.run(
         [
@@ -183,6 +233,8 @@ def main():
         if fetched != reference:
             raise SystemExit("FAIL: fleet results differ from direct run_many")
         print("== results bit-identical to run_many despite the dead worker")
+
+        _check_job_trace(workdir, url)
 
         metrics = _metrics(url)
         if metrics.get("repro_service_fleet_leases_expired", 0) < 1:

@@ -152,3 +152,70 @@ def test_zero_retries_disables_the_loop(tmp_path):
         with pytest.raises(TransientServiceError):
             client.list_jobs()
         assert server.connections == 1
+
+
+# -- decorrelated-jitter backoff ---------------------------------------------
+
+
+def jitter_client(seed, backoff_s=0.1, backoff_max_s=2.0):
+    return ServiceClient(
+        "http://127.0.0.1:1",
+        backoff_s=backoff_s,
+        backoff_max_s=backoff_max_s,
+        jitter_seed=seed,
+    )
+
+
+def backoff_sequence(client, steps=16):
+    delays, previous = [], client.backoff_s
+    for _ in range(steps):
+        previous = client._next_backoff(previous)
+        delays.append(previous)
+    return delays
+
+
+def test_backoff_is_deterministic_under_a_pinned_seed():
+    assert backoff_sequence(jitter_client(42)) == backoff_sequence(
+        jitter_client(42)
+    )
+
+
+def test_backoff_decorrelates_across_seeds():
+    assert backoff_sequence(jitter_client(1)) != backoff_sequence(
+        jitter_client(2)
+    )
+
+
+def test_backoff_stays_within_the_declared_bounds():
+    client = jitter_client(7, backoff_s=0.05, backoff_max_s=0.4)
+    delays = backoff_sequence(client, steps=64)
+    assert all(0.05 <= delay <= 0.4 for delay in delays)
+    assert max(delays) == 0.4  # growth reaches (and respects) the cap
+
+
+def test_backoff_never_exceeds_three_times_the_previous_delay():
+    client = jitter_client(9, backoff_s=0.01, backoff_max_s=100.0)
+    previous = client.backoff_s
+    for _ in range(32):
+        delay = client._next_backoff(previous)
+        assert client.backoff_s <= delay <= max(client.backoff_s, 3.0 * previous)
+        previous = delay
+
+
+def test_retry_loop_sleeps_the_jittered_delays(monkeypatch, tmp_path):
+    slept = []
+    monkeypatch.setattr(
+        "repro.service.client.time.sleep", lambda s: slept.append(s)
+    )
+    with FlakyServer(fail_first=3, payload={"jobs": []}) as server:
+        client = ServiceClient(
+            server.url, client_id="pytest", timeout=5.0, retries=3,
+            backoff_s=0.01, backoff_max_s=0.5, jitter_seed=3,
+        )
+        client.list_jobs()
+        url = server.url
+    expected = backoff_sequence(
+        ServiceClient(url, backoff_s=0.01, backoff_max_s=0.5, jitter_seed=3),
+        steps=3,
+    )
+    assert slept == pytest.approx(expected)

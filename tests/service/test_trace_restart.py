@@ -1,0 +1,94 @@
+"""Journaled trace spans survive a coordinator restart.
+
+A worker delivers one of a job's two shards, the coordinator drains
+(checkpointing the job back to pending), and a new coordinator on the
+same journal finishes the job with a different worker.  The merged trace
+must still carry the pre-restart worker's spans: they were journaled
+with the shard delivery and replayed into the fresh tracer at startup.
+"""
+
+import threading
+
+from repro.obs.fleet import FleetTracer, validate_spans
+from repro.scenarios.io import scenario_to_dict
+from repro.service.client import ServiceClient
+from repro.service.core import SimulationService
+from repro.service.http import ServiceHTTPServer
+from repro.service.worker import ShardWorker
+
+from tests.service.helpers import fake_result, small_config
+
+
+def payloads(*seeds):
+    return [scenario_to_dict(small_config(seed=s)) for s in seeds]
+
+
+def start_service(tmp_path):
+    svc = SimulationService(
+        cache_dir=str(tmp_path / "cache"),
+        journal_path=str(tmp_path / "journal.jsonl"),
+        task_fn=fake_result,
+        distributed=True,
+        shard_size=2,
+        tracer=FleetTracer(proc="coordinator"),
+    )
+    httpd = ServiceHTTPServer(("127.0.0.1", 0), svc)
+    svc.start()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    return svc, httpd, f"http://127.0.0.1:{httpd.port}"
+
+
+def run_worker(tmp_path, url, worker_id, max_shards):
+    worker = ShardWorker(
+        ServiceClient(url, client_id=worker_id),
+        worker_id=worker_id,
+        cache_dir=str(tmp_path / f"{worker_id}-cache"),
+        task_fn=fake_result,
+    )
+    return worker.run(max_shards=max_shards)
+
+
+def test_merged_trace_survives_coordinator_restart(tmp_path):
+    svc, httpd, url = start_service(tmp_path)
+    try:
+        client = ServiceClient(url, client_id="pytest")
+        job_id = client.submit(payloads(1, 2, 3, 4))  # -> two shards
+        assert run_worker(tmp_path, url, "w1", max_shards=1) == 1
+        trace_id = svc.get_job(job_id).trace_id
+        assert trace_id is not None
+        pre_restart = svc.job_trace(job_id)["spans"]
+        assert any(
+            s["kind"] == "shard.execute" and s["proc"] == "w1"
+            for s in pre_restart
+        )
+    finally:
+        httpd.shutdown()
+        svc.drain(grace_s=5.0)
+
+    # Same journal + cache: the job comes back pending, the delivered
+    # shard's results resolve from the cache, one shard is left to run.
+    svc, httpd, url = start_service(tmp_path)
+    try:
+        job = svc.get_job(job_id)
+        assert job.trace_id == trace_id
+        assert run_worker(tmp_path, url, "w2", max_shards=1) == 1
+        svc.wait(job_id, timeout=30.0)
+        trace = svc.job_trace(job_id)
+        assert trace["trace_id"] == trace_id
+        spans = trace["spans"]
+        assert validate_spans(spans) == []
+        execute_procs = {
+            s["proc"] for s in spans if s["kind"] == "shard.execute"
+        }
+        assert {"w1", "w2"} <= execute_procs  # pre-restart spans replayed
+        roots = [s for s in spans if s["kind"] == "job"]
+        assert len(roots) == 1
+        assert roots[0]["attrs"].get("recovered") is True
+        # The replayed w1 spans are exactly the journaled originals.
+        pre_ids = {s["span_id"] for s in pre_restart if s.get("end") is not None}
+        post_ids = {s["span_id"] for s in spans}
+        assert pre_ids <= post_ids
+    finally:
+        httpd.shutdown()
+        svc.drain(grace_s=5.0)

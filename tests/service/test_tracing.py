@@ -1,0 +1,256 @@
+"""End-to-end fleet tracing through the service: spans for every stage,
+context propagation over HTTP, worker-span merge, and the trace API."""
+
+import threading
+
+import pytest
+
+from repro.obs.fleet import (
+    FleetTracer,
+    trace_breakdown,
+    trace_coverage,
+    validate_spans,
+)
+from repro.scenarios.io import scenario_to_dict
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.core import SimulationService
+from repro.service.http import ServiceHTTPServer
+from repro.service.worker import ShardWorker
+
+from tests.service.helpers import fake_result, small_config
+
+
+def payloads(*seeds):
+    return [scenario_to_dict(small_config(seed=s)) for s in seeds]
+
+
+@pytest.fixture
+def service(tmp_path):
+    svc = SimulationService(
+        workers=1,
+        cache_dir=str(tmp_path / "cache"),
+        journal_path=str(tmp_path / "journal.jsonl"),
+        task_fn=fake_result,
+        tracer=FleetTracer(proc="coordinator"),
+    )
+    svc.start()
+    try:
+        yield svc
+    finally:
+        svc.drain(grace_s=5.0)
+
+
+@pytest.fixture
+def http_service(tmp_path):
+    svc = SimulationService(
+        workers=1,
+        cache_dir=str(tmp_path / "cache"),
+        task_fn=fake_result,
+        tracer=FleetTracer(proc="coordinator"),
+    )
+    httpd = ServiceHTTPServer(("127.0.0.1", 0), svc)
+    svc.start()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield svc, ServiceClient(
+            f"http://127.0.0.1:{httpd.port}", client_id="pytest"
+        )
+    finally:
+        httpd.shutdown()
+        svc.drain(grace_s=5.0)
+
+
+def test_local_job_records_every_coordinator_stage(service):
+    job = service.submit(payloads(1, 2))
+    assert service.wait(job.id, timeout=30.0)
+    trace = service.job_trace(job.id)
+    assert trace["trace_id"] == job.trace_id
+    kinds = {span["kind"] for span in trace["spans"]}
+    assert {"job", "submit", "queue.wait", "dispatch", "cache.lookup",
+            "journal.fsync"} <= kinds
+    assert all(span["trace_id"] == job.trace_id for span in trace["spans"])
+    assert validate_spans(trace["spans"]) == []
+    coverage = trace_coverage(trace["spans"])
+    assert coverage["coverage"] > 0.5
+    roots = [s for s in trace["spans"] if s["kind"] == "job"]
+    assert len(roots) == 1 and "parent_id" not in roots[0]
+    assert roots[0]["attrs"]["state"] == "done"
+
+
+def test_per_job_traces_are_disjoint(service):
+    first = service.submit(payloads(1))
+    second = service.submit(payloads(2))
+    assert service.wait(first.id, timeout=30.0)
+    assert service.wait(second.id, timeout=30.0)
+    assert first.trace_id != second.trace_id
+    ids_first = {s["span_id"] for s in service.job_trace(first.id)["spans"]}
+    ids_second = {s["span_id"] for s in service.job_trace(second.id)["spans"]}
+    assert not (ids_first & ids_second)
+
+
+def test_untraced_service_serves_empty_traces(tmp_path):
+    svc = SimulationService(
+        workers=1, cache_dir=str(tmp_path / "c"), task_fn=fake_result
+    )
+    svc.start()
+    try:
+        job = svc.submit(payloads(1))
+        assert svc.wait(job.id, timeout=30.0)
+        trace = svc.job_trace(job.id)
+        assert trace == {"id": job.id, "trace_id": None, "spans": []}
+    finally:
+        svc.drain(grace_s=5.0)
+
+
+def test_disabled_tracer_records_no_spans(tmp_path):
+    svc = SimulationService(
+        workers=1,
+        cache_dir=str(tmp_path / "c"),
+        task_fn=fake_result,
+        tracer=FleetTracer(proc="coordinator", enabled=False),
+    )
+    svc.start()
+    try:
+        job = svc.submit(payloads(1))
+        assert svc.wait(job.id, timeout=30.0)
+        assert job.trace_id is None
+        assert svc.job_trace(job.id)["spans"] == []
+    finally:
+        svc.drain(grace_s=5.0)
+
+
+def test_trace_endpoint_over_http(http_service):
+    _svc, client = http_service
+    job_id = client.submit(payloads(1))
+    client.wait(job_id, timeout=30.0)
+    trace = client.job_trace(job_id)
+    assert trace["id"] == job_id
+    assert trace["trace_id"]
+    assert {span["kind"] for span in trace["spans"]} >= {"job", "submit"}
+    with pytest.raises(ServiceError) as err:
+        client.job_trace("no-such-job")
+    assert err.value.status == 404
+
+
+def test_submit_adopts_the_callers_trace_context(http_service):
+    _svc, client = http_service
+    job_id = client.submit(payloads(1), trace_parent=("t-caller", "span-caller"))
+    client.wait(job_id, timeout=30.0)
+    trace = client.job_trace(job_id)
+    assert trace["trace_id"] == "t-caller"
+    [root] = [s for s in trace["spans"] if s["kind"] == "job"]
+    assert root["parent_id"] == "span-caller"
+
+
+def test_submit_ack_carries_the_trace_id(http_service):
+    svc, client = http_service
+    job_id = client.submit(payloads(1))
+    status = client.status(job_id)
+    assert status["trace_id"] == svc.get_job(job_id).trace_id
+
+
+def test_post_spans_merges_into_the_job_trace(http_service):
+    svc, client = http_service
+    job_id = client.submit(payloads(1))
+    client.wait(job_id, timeout=30.0)
+    trace_id = svc.get_job(job_id).trace_id
+    foreign = {
+        "trace_id": trace_id,
+        "span_id": "w-span-1",
+        "kind": "task.run",
+        "proc": "w-external",
+        "start": 1.0,
+        "end": 2.0,
+    }
+    assert client.post_spans([foreign, {"junk": True}]) == 1
+    spans = client.job_trace(job_id)["spans"]
+    assert any(span["span_id"] == "w-span-1" for span in spans)
+
+
+def test_distributed_trace_merges_worker_spans(tmp_path):
+    svc = SimulationService(
+        cache_dir=str(tmp_path / "cache"),
+        journal_path=str(tmp_path / "journal.jsonl"),
+        task_fn=fake_result,
+        distributed=True,
+        shard_size=2,
+        tracer=FleetTracer(proc="coordinator"),
+    )
+    httpd = ServiceHTTPServer(("127.0.0.1", 0), svc)
+    svc.start()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{httpd.port}"
+    try:
+        client = ServiceClient(url, client_id="pytest")
+        job_id = client.submit(payloads(1, 2, 3, 4))
+        worker = ShardWorker(
+            ServiceClient(url, client_id="w1"),
+            worker_id="w1",
+            cache_dir=str(tmp_path / "worker-cache"),
+            task_fn=fake_result,
+        )
+        assert worker.run(max_shards=2) == 2
+        client.wait(job_id, timeout=30.0)
+        spans = client.job_trace(job_id)["spans"]
+        assert validate_spans(spans) == []
+        coverage = trace_coverage(spans)
+        assert set(coverage["procs"]) == {"coordinator", "w1"}
+        assert coverage["coverage"] > 0.8
+        kinds = {span["kind"] for span in spans}
+        assert {"job", "shard.lease", "shard.execute", "task.run",
+                "cache.lookup", "cache.remote", "result.deliver"} <= kinds
+        # worker execute spans hang off the coordinator's lease spans
+        lease_ids = {s["span_id"] for s in spans if s["kind"] == "shard.lease"}
+        executes = [s for s in spans if s["kind"] == "shard.execute"]
+        assert executes and all(s["parent_id"] in lease_ids for s in executes)
+        breakdown = trace_breakdown(spans)
+        assert breakdown["by_proc"]["w1"]["busy_s"] > 0
+    finally:
+        httpd.shutdown()
+        svc.drain(grace_s=5.0)
+
+
+def test_worker_without_trace_context_ships_no_spans(tmp_path):
+    svc = SimulationService(
+        cache_dir=str(tmp_path / "cache"),
+        task_fn=fake_result,
+        distributed=True,
+        shard_size=4,
+        tracer=None,  # untraced coordinator: claims carry no context
+    )
+    httpd = ServiceHTTPServer(("127.0.0.1", 0), svc)
+    svc.start()
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{httpd.port}"
+    try:
+        client = ServiceClient(url, client_id="pytest")
+        job_id = client.submit(payloads(1, 2))
+        worker = ShardWorker(
+            ServiceClient(url, client_id="w1"),
+            worker_id="w1",
+            cache_dir=str(tmp_path / "worker-cache"),
+            task_fn=fake_result,
+        )
+        assert worker.run(max_shards=1) == 1
+        client.wait(job_id, timeout=30.0)
+        assert worker.tracer.trace_count() == 0
+        assert client.job_trace(job_id)["spans"] == []
+    finally:
+        httpd.shutdown()
+        svc.drain(grace_s=5.0)
+
+
+def test_stage_histograms_observe_finished_spans(service):
+    job = service.submit(payloads(1))
+    assert service.wait(job.id, timeout=30.0)
+    snapshot = service.metrics.snapshot()
+    dispatch = [
+        key for key in snapshot
+        if key.startswith("service.stage.dispatch.wall_s") and key.endswith("count")
+    ]
+    assert dispatch and snapshot[dispatch[0]] >= 1
+    text = service.metrics.render_prometheus()
+    assert "repro_service_stage_dispatch_wall_s" in text
