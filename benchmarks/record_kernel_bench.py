@@ -18,7 +18,9 @@ the seed tree on the same machine with the same best-of-N protocol):
   cell list, with the neighbour sets asserted identical,
 * a 100-node cross-backend full simulation, metrics asserted bit-identical,
 * seed-batched ``run_many`` vs per-seed pool dispatch on a multi-seed
-  100-node sweep, results asserted identical.
+  100-node sweep, results asserted identical,
+* a lossy-profile run (probabilistic reception drawing per-listener loss
+  decisions on the channel hot path), asserted seed-deterministic.
 
 The scenario's metrics are asserted equal to the baseline's, bit for bit —
 a speedup that changes simulation output is a bug, not a win.
@@ -42,7 +44,11 @@ from repro.mobility.waypoint import RandomWaypointModel  # noqa: E402
 from repro.phy.neighbors import NeighborCache  # noqa: E402
 from repro.phy.propagation import DiskPropagation  # noqa: E402
 from repro.scenarios.builder import build_simulation, run_scenario  # noqa: E402
-from repro.scenarios.presets import paper_scenario, scaled_scenario  # noqa: E402
+from repro.scenarios.presets import (  # noqa: E402
+    lossy_scenario,
+    paper_scenario,
+    scaled_scenario,
+)
 from repro.sim.engine import Simulator  # noqa: E402
 
 # The paper's node density (100 nodes per 2200 m x 600 m), held constant as
@@ -252,6 +258,30 @@ def measure_seed_batch(rounds: int, seeds: int = 4) -> dict:
     }
 
 
+def measure_lossy_profile(rounds: int) -> dict:
+    """Wall time of a probabilistic-reception run (per-listener loss draws on
+    the channel hot path), with a same-seed bit-identity check."""
+    config = lossy_scenario(link_loss=0.2, seed=1)
+    walls = []
+    result = None
+    for _ in range(rounds):
+        start = time.perf_counter()
+        result = run_scenario(config)
+        walls.append(time.perf_counter() - start)
+    if run_scenario(config) != result:
+        raise SystemExit("lossy-profile run is not seed-deterministic")
+    return {
+        "scenario": "lossy_scenario(link_loss=0.2, seed=1)",
+        "wall_s": round(min(walls), 3),
+        "metrics": {
+            "data_sent": result.data_sent,
+            "data_received": result.data_received,
+            "link_breaks": result.link_breaks,
+        },
+        "seed_deterministic": True,
+    }
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--rounds", type=int, default=3, help="best-of-N rounds")
@@ -270,6 +300,7 @@ def main() -> None:
     scaling = measure_scaling(slow_rounds)
     cross_index = measure_cross_index()
     seed_batch = measure_seed_batch(slow_rounds)
+    lossy = measure_lossy_profile(slow_rounds)
 
     report = {
         "benchmark": "kernel hot path (scaled pause-0 scenario + engine microbenches)",
@@ -303,11 +334,13 @@ def main() -> None:
         },
         "cross_index_full_run": cross_index,
         "seed_batched_sweep": seed_batch,
+        "lossy_profile_run": lossy,
     }
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(json.dumps(report["speedup"], indent=2))
     print(json.dumps(scaling, indent=2))
     print(json.dumps(seed_batch, indent=2))
+    print(json.dumps(lossy, indent=2))
     print(f"wrote {args.output}")
 
 

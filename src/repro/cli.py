@@ -13,6 +13,7 @@ import sys
 from typing import Optional, Sequence
 
 from repro.core.config import PAPER_VARIANTS, DsrConfig, ExpiryMode
+from repro.phy.profiles import profile_names
 from repro.scenarios import presets
 from repro.version import __version__
 
@@ -64,7 +65,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--mobility",
-        choices=("waypoint", "gauss_markov", "rpgm"),
+        choices=("waypoint", "gauss_markov", "rpgm", "random_walk"),
         default="waypoint",
         help="mobility model (default: the paper's random waypoint)",
     )
@@ -74,6 +75,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="FRACTION",
         help="lossy outer fraction of the radio range (0 = ideal disk)",
+    )
+    parser.add_argument(
+        "--radio-profile",
+        choices=profile_names(),
+        default="wavelan",
+        help=(
+            "radio technology profile (geometry, bitrate, timing, energy, "
+            "loss shape, capture; default: the paper's wavelan)"
+        ),
+    )
+    parser.add_argument(
+        "--link-loss",
+        type=float,
+        default=0.0,
+        metavar="P",
+        help=(
+            "distance-independent frame-loss probability layered on the "
+            "profile's own loss shape (0 = profile default)"
+        ),
+    )
+    parser.add_argument(
+        "--loss-sweep",
+        metavar="L1,L2,...",
+        default=None,
+        help=(
+            "instead of one run, sweep every cache-strategy variant across "
+            "these link-loss levels on a frozen network (uses the sweep "
+            "engine and its cache) and print a markdown report"
+        ),
     )
     parser.add_argument(
         "--json",
@@ -206,6 +236,9 @@ def _build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
 
+    if args.loss_sweep is not None:
+        return _run_loss_sweep(args)
+
     if args.config is not None:
         from repro.scenarios.io import load_scenario
 
@@ -240,8 +273,52 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         mobility_model=args.mobility,
         grey_zone_fraction=args.grey_zone,
         neighbor_index=args.neighbor_index,
+        radio_profile=args.radio_profile,
+        link_loss=args.link_loss,
     )
     return _run_and_report(args, config)
+
+
+def _run_loss_sweep(args) -> int:
+    """``--loss-sweep``: cache strategies x loss levels via repro.paper."""
+    from repro.analysis.runner import SweepInterrupted
+    from repro.paper import loss_sweep
+
+    try:
+        levels = [
+            float(chunk) for chunk in args.loss_sweep.split(",") if chunk.strip()
+        ]
+    except ValueError:
+        print(
+            f"error: --loss-sweep expects comma-separated floats, "
+            f"got {args.loss_sweep!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if not levels:
+        print("error: --loss-sweep needs at least one loss level", file=sys.stderr)
+        return 2
+    scale = {"tiny": "quick", "scaled": "scaled", "paper": "paper"}[args.preset]
+    if args.seeds:
+        seeds = [int(chunk) for chunk in args.seeds.split(",") if chunk.strip()]
+    else:
+        seeds = [args.seed]
+    cache_dir = None if args.no_cache else args.cache_dir
+    try:
+        report = loss_sweep(
+            scale=scale,
+            seeds=seeds,
+            levels=levels,
+            profile=args.radio_profile,
+            processes=args.processes,
+            cache_dir=cache_dir,
+            progress=lambda message: print(message, file=sys.stderr),
+        )
+    except SweepInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        return 130
+    print(report.to_markdown())
+    return 0
 
 
 def _run_and_report(args, config) -> int:

@@ -1,15 +1,23 @@
-"""802.11 DSSS timing and size constants at WaveLAN's 2 Mb/s.
+"""MAC/PHY timing and size constants.
 
-Values follow IEEE 802.11-1997 DSSS PHY (the radio the paper models): 20 us
-slots, 10 us SIFS, 50 us DIFS, 192 us PLCP preamble+header, and the standard
-control-frame sizes.
+Defaults follow IEEE 802.11-1997 DSSS PHY at WaveLAN's 2 Mb/s (the radio
+the paper models): 20 us slots, 10 us SIFS, 50 us DIFS, 192 us PLCP
+preamble+header, and the standard control-frame sizes.  Other radio
+technologies derive their timing through :meth:`MacTiming.from_profile`,
+which reads bitrate/slot/SIFS/PLCP from a :class:`~repro.phy.profiles.
+RadioProfile` — every airtime, DIFS/EIFS and timeout below then scales with
+the profile instead of assuming 2 Mb/s.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phy.profiles import RadioProfile
 
 
 @dataclass(frozen=True)
@@ -37,6 +45,23 @@ class MacTiming:
             raise ConfigurationError("need 1 <= cw_min <= cw_max")
         if self.retry_limit < 1:
             raise ConfigurationError("retry_limit must be >= 1")
+
+    @classmethod
+    def from_profile(cls, profile: "RadioProfile", **overrides) -> "MacTiming":
+        """Timing for a radio profile (bitrate, slot, SIFS, PLCP).
+
+        Keyword overrides pass through to the constructor, so scenario
+        knobs like ``use_eifs`` compose with any profile.  For the default
+        ``wavelan`` profile the result equals ``MacTiming(**overrides)``
+        field for field — the back-compat contract.
+        """
+        return cls(
+            bitrate=profile.bitrate,
+            slot=profile.slot,
+            sifs=profile.sifs,
+            plcp=profile.plcp,
+            **overrides,
+        )
 
     @property
     def difs(self) -> float:

@@ -12,6 +12,7 @@ segments) without per-tick position updates.
 from repro.mobility.base import MobilityModel
 from repro.mobility.trajectory import Segment, Trajectory
 from repro.mobility.waypoint import RandomWaypointModel
+from repro.mobility.random_walk import RandomWalkModel
 from repro.mobility.gauss_markov import GaussMarkovModel
 from repro.mobility.rpgm import ReferencePointGroupModel
 from repro.mobility.static import StaticModel
@@ -23,6 +24,7 @@ __all__ = [
     "Segment",
     "Trajectory",
     "RandomWaypointModel",
+    "RandomWalkModel",
     "GaussMarkovModel",
     "ReferencePointGroupModel",
     "StaticModel",

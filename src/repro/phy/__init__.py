@@ -9,6 +9,11 @@ The model reproduces what the paper's results actually depend on:
 * half-duplex transceivers that report medium busy/idle transitions to the
   MAC.
 
+Other radio technologies plug in through :mod:`repro.phy.profiles`: a
+:class:`RadioProfile` bundles geometry, bitrate/timing, energy draws, a
+probabilistic-reception loss shape and an optional capture threshold; the
+default ``wavelan`` profile reproduces the paper's radio bit for bit.
+
 Positions come from a :class:`repro.mobility.MobilityModel`; for speed, pairwise
 connectivity is cached per small time quantum by :class:`NeighborCache`
 (nodes move at most ~1 m within the default 50 ms quantum, far below the
@@ -25,6 +30,13 @@ from repro.phy.energy import EnergyLedger, EnergyModel
 from repro.phy.neighbors import NeighborCache
 from repro.phy.channel import Channel, Transmission
 from repro.phy.radio import Radio
+from repro.phy.profiles import (
+    CaptureModel,
+    ProbabilisticReception,
+    RadioProfile,
+    get_profile,
+    profile_names,
+)
 
 __all__ = [
     "DiskPropagation",
@@ -39,4 +51,9 @@ __all__ = [
     "Channel",
     "Transmission",
     "Radio",
+    "RadioProfile",
+    "ProbabilisticReception",
+    "CaptureModel",
+    "get_profile",
+    "profile_names",
 ]

@@ -3,8 +3,11 @@
 A transmission is broadcast energy: every node within carrier-sense range of
 the sender hears it for the frame's duration; nodes within receive range can
 decode it *iff* no other transmission (or their own) overlaps the frame at
-their location.  There is no capture effect — any overlap corrupts, which
-matches the conservative ns-2 configuration used by the paper.
+their location.  By default there is no capture effect — any overlap
+corrupts, which matches the conservative ns-2 configuration used by the
+paper.  Radio profiles may opt into capture by passing a
+:class:`~repro.phy.profiles.CaptureModel`: the plan then carries a relative
+received power per listener and the radio lets the stronger frame survive.
 """
 
 from __future__ import annotations
@@ -22,6 +25,7 @@ from repro.sim.trace import Tracer
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mac.frames import Frame
     from repro.phy.energy import EnergyLedger
+    from repro.phy.profiles import CaptureModel
     from repro.phy.radio import Radio
 
 
@@ -54,6 +58,7 @@ class Channel:
         loss_model: Optional[LossModel] = None,
         rng: Optional[np.random.Generator] = None,
         energy: Optional["EnergyLedger"] = None,
+        capture: Optional["CaptureModel"] = None,
     ):
         self._sim = sim
         self._neighbors = neighbors
@@ -61,6 +66,7 @@ class Channel:
         self._radios: Dict[int, "Radio"] = {}
         self._loss_model = loss_model or NoLoss()
         self._lossy = not isinstance(self._loss_model, NoLoss)
+        self.capture = capture
         if self._lossy and rng is None:
             # A silent fallback generator here would give every scenario the
             # same fading draws regardless of its seed (found by repro-lint
@@ -72,10 +78,11 @@ class Channel:
             )
         self._rng = rng
         self.energy = energy
-        # Per-quantum delivery plans: sender -> [(radio, in_rx, distance)].
-        # Geometry is frozen within a neighbour-cache quantum, so the radio
-        # lookups and range tests for a sender can be done once per quantum
-        # instead of once per frame.
+        # Per-quantum delivery plans:
+        # sender -> [(radio, in_rx, distance, power_db)].  Geometry is frozen
+        # within a neighbour-cache quantum, so the radio lookups, range tests
+        # and power proxies for a sender can be done once per quantum instead
+        # of once per frame.
         self._plans: Dict[int, List[tuple]] = {}
         self._plans_tick = -1
 
@@ -107,10 +114,21 @@ class Channel:
         sender.begin_transmit(tx)
         plan = self._plan_for(sender.node_id, now)
         energy = self.energy
-        if self._lossy:
+        if self.capture is not None:
+            lossy = self._lossy
             loss_model = self._loss_model
             rng = self._rng
-            for radio, in_rx, distance in plan:
+            for radio, in_rx, distance, power in plan:
+                receivable = in_rx and (
+                    not lossy or loss_model.delivered(distance, rng)
+                )
+                radio.energy_start(tx, receivable, power)
+                if energy is not None:
+                    energy.charge_rx(radio.node_id, duration)
+        elif self._lossy:
+            loss_model = self._loss_model
+            rng = self._rng
+            for radio, in_rx, distance, _power in plan:
                 # Short-circuit keeps the RNG draw order identical to the
                 # unmemoised loop: one draw per in-range listener, in
                 # carrier-sense neighbour order.
@@ -118,13 +136,13 @@ class Channel:
                 if energy is not None:
                     energy.charge_rx(radio.node_id, duration)
         elif energy is not None:
-            for radio, in_rx, _distance in plan:
+            for radio, in_rx, _distance, _power in plan:
                 radio.energy_start(tx, in_rx)
                 energy.charge_rx(radio.node_id, duration)
         else:
             # The common configuration (disk propagation, no energy model):
             # nothing in the loop but the energy_start calls themselves.
-            for radio, in_rx, _distance in plan:
+            for radio, in_rx, _distance, _power in plan:
                 radio.energy_start(tx, in_rx)
         if energy is not None:
             energy.charge_tx(sender.node_id, duration)
@@ -133,10 +151,13 @@ class Channel:
     def _plan_for(self, sender_id: int, now: float) -> List[tuple]:
         """The sender's listeners for the current quantum.
 
-        Each entry is ``(radio, in_rx, distance)``; ``distance`` is only
-        computed when a loss model needs it.  Plan lists are replaced (never
-        mutated) on quantum change, so an in-flight :meth:`_finish` holding a
-        stale plan still sees the listeners its frame actually reached.
+        Each entry is ``(radio, in_rx, distance, power_db)``; ``distance``
+        is only computed when a loss or capture model needs it, and
+        ``power_db`` only when capture is enabled (carrier-sense-only
+        listeners then need it too — their energy is what receptions must
+        capture over).  Plan lists are replaced (never mutated) on quantum
+        change, so an in-flight :meth:`_finish` holding a stale plan still
+        sees the listeners its frame actually reached.
         """
         neighbors = self._neighbors
         tick = neighbors.tick(now)
@@ -148,8 +169,12 @@ class Channel:
             rx_set = neighbors.rx_set(sender_id, now)
             cs_list = neighbors.cs_neighbors(sender_id, now)
             radios = self._radios
+            capture = self.capture
             distance_of: Dict[int, float] = {}
-            if self._lossy:
+            if capture is not None:
+                values = neighbors.distances(sender_id, list(cs_list), now)
+                distance_of = dict(zip(cs_list, values.tolist()))
+            elif self._lossy:
                 # One vectorized sqrt for every in-range listener, instead of
                 # a scalar np.sqrt per receiver (np.sqrt is correctly rounded,
                 # so each element is bit-identical to the scalar path).
@@ -162,7 +187,9 @@ class Channel:
                 if radio is None:
                     continue
                 in_rx = node_id in rx_set
-                plan.append((radio, in_rx, distance_of.get(node_id, 0.0)))
+                distance = distance_of.get(node_id, 0.0)
+                power = 0.0 if capture is None else capture.power_db(distance)
+                plan.append((radio, in_rx, distance, power))
             self._plans[sender_id] = plan
         return plan
 

@@ -19,7 +19,10 @@ delivered packet — the overhead metric's physical twin.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.phy.profiles import RadioProfile
 
 
 @dataclass(frozen=True)
@@ -33,6 +36,15 @@ class EnergyModel:
     def __post_init__(self) -> None:
         if min(self.tx_power, self.rx_power, self.idle_power) < 0:
             raise ValueError("power draws cannot be negative")
+
+    @classmethod
+    def from_profile(cls, profile: "RadioProfile") -> "EnergyModel":
+        """Per-profile power draws (equals the defaults for ``wavelan``)."""
+        return cls(
+            tx_power=profile.tx_power_w,
+            rx_power=profile.rx_power_w,
+            idle_power=profile.idle_power_w,
+        )
 
 
 @dataclass

@@ -105,6 +105,11 @@ class NeighborCache:
         self._cs_lists: Dict[int, List[int]] = {}
         self._rx_sets: Dict[int, FrozenSet[int]] = {}
 
+    @property
+    def propagation(self) -> DiskPropagation:
+        """The disk geometry this cache answers queries for."""
+        return self._propagation
+
     def _refresh(self, t: float) -> None:
         tick = int(t / self.quantum)
         if tick == self._tick:

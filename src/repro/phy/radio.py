@@ -48,6 +48,14 @@ class Radio:
         self._transmitting: Optional[Transmission] = None
         self._receptions: Dict[Transmission, List[bool]] = {}
         self._cs_energy = 0  # in-flight transmissions heard but not decodable
+        # Capture (profile opt-in): the threshold the channel's CaptureModel
+        # configured, and the relative power of every transmission currently
+        # heard.  None keeps the legacy any-overlap-corrupts fast path.
+        capture = channel.capture
+        self._capture_db: Optional[float] = (
+            None if capture is None else capture.threshold_db
+        )
+        self._heard_power: Dict[Transmission, float] = {}
         channel.attach(self)
 
     # -- state queries -----------------------------------------------------
@@ -92,7 +100,12 @@ class Radio:
 
     # -- receive path ------------------------------------------------------
 
-    def energy_start(self, tx: Transmission, receivable: bool) -> None:
+    def energy_start(
+        self, tx: Transmission, receivable: bool, power: float = 0.0
+    ) -> None:
+        if self._capture_db is not None:
+            self._capture_start(tx, receivable, power)
+            return
         # `busy` doubles as the new reception's corrupt flag: energy from a
         # second source corrupts, and its absence means we were clear.
         receptions = self._receptions
@@ -111,7 +124,39 @@ class Radio:
         if not busy and self.mac is not None and not self.mac_idle:
             self.mac.on_medium_change()
 
+    def _capture_start(
+        self, tx: Transmission, receivable: bool, power: float
+    ) -> None:
+        """Reception start under the capture model.
+
+        Pairwise strongest-interferer capture: an overlap no longer corrupts
+        unconditionally.  Each decodable frame already on the air survives
+        the new arrival iff its power exceeds the new arrival's by the
+        threshold; the new arrival starts clean iff we are not transmitting
+        and it beats the *strongest* energy currently heard by the threshold.
+        Half duplex is unchanged — our own transmission always wins.
+        """
+        receptions = self._receptions
+        heard = self._heard_power
+        threshold = self._capture_db
+        busy = bool(heard) or self._transmitting is not None
+        for rx_tx, reception in receptions.items():
+            if heard[rx_tx] < power + threshold:
+                reception[_CORRUPT] = True
+        if receivable:
+            corrupt = self._transmitting is not None or any(
+                power < other + threshold for other in heard.values()
+            )
+            receptions[tx] = [True, corrupt]
+        else:
+            self._cs_energy += 1
+        heard[tx] = power
+        if not busy and self.mac is not None and not self.mac_idle:
+            self.mac.on_medium_change()
+
     def energy_end(self, tx: Transmission) -> None:
+        if self._capture_db is not None:
+            self._heard_power.pop(tx, None)
         reception = self._receptions.pop(tx, None)
         if reception is None:
             # Carrier-sense-only energy: no decode outcome to deliver, just

@@ -19,8 +19,8 @@ from repro.mobility.base import MobilityModel
 from repro.mobility.waypoint import RandomWaypointModel
 from repro.net.node import Node
 from repro.phy.channel import Channel
-from repro.phy.fading import EdgeLossModel
 from repro.phy.neighbors import NeighborCache
+from repro.phy.profiles import build_loss_model, resolve_profile
 from repro.phy.propagation import DiskPropagation
 from repro.scenarios.config import ScenarioConfig
 from repro.sim.engine import Simulator
@@ -75,6 +75,19 @@ def _make_mobility(config: ScenarioConfig, streams: RandomStreams):
             max_speed=config.max_speed,
             min_speed=config.min_speed,
             pause_time=config.pause_time,
+        )
+    if config.mobility_model == "random_walk":
+        from repro.mobility.random_walk import RandomWalkModel
+
+        return RandomWalkModel(
+            num_nodes=config.num_nodes,
+            width=config.field_width,
+            height=config.field_height,
+            duration=config.duration,
+            rng=rng,
+            max_speed=config.max_speed,
+            min_speed=config.min_speed,
+            epoch=config.walk_epoch,
         )
     if config.mobility_model == "gauss_markov":
         from repro.mobility.gauss_markov import GaussMarkovModel
@@ -140,24 +153,28 @@ def build_simulation(config: ScenarioConfig) -> SimulationHandle:
     streams = RandomStreams(config.seed)
 
     mobility = _make_mobility(config, streams)
-    propagation = DiskPropagation(rx_range=config.rx_range, cs_range=config.cs_range)
+    # The radio profile is the single source of truth for the physical
+    # layer: geometry (and therefore the spatial index's grid pitch), loss
+    # shape, capture, MAC timing and energy draws all derive from it.  For
+    # the default "wavelan" profile every derived object below equals the
+    # pre-profile construction field for field — the back-compat contract
+    # that keeps golden metrics and cache entries bit-identical.
+    profile = resolve_profile(config)
+    propagation = DiskPropagation(
+        rx_range=profile.rx_range, cs_range=profile.cs_range
+    )
     neighbors = NeighborCache(
         mobility,
         propagation,
         quantum=config.neighbor_quantum,
         index=config.neighbor_index,
     )
-    loss_model = None
-    if config.grey_zone_fraction > 0.0:
-        loss_model = EdgeLossModel(
-            rx_range=config.rx_range,
-            reliable_fraction=1.0 - config.grey_zone_fraction,
-        )
+    loss_model = build_loss_model(profile, config)
     energy = None
     if config.track_energy:
-        from repro.phy.energy import EnergyLedger
+        from repro.phy.energy import EnergyLedger, EnergyModel
 
-        energy = EnergyLedger()
+        energy = EnergyLedger(EnergyModel.from_profile(profile))
     channel = Channel(
         sim,
         neighbors,
@@ -165,6 +182,7 @@ def build_simulation(config: ScenarioConfig) -> SimulationHandle:
         loss_model=loss_model,
         rng=streams.stream("fading"),
         energy=energy,
+        capture=profile.capture(),
     )
     oracle = make_validity_oracle(sim, neighbors)
     reachability = None
@@ -183,7 +201,7 @@ def build_simulation(config: ScenarioConfig) -> SimulationHandle:
             channel,
             agent,
             mac_rng=streams.stream("mac", f"node-{node_id}"),
-            timing=MacTiming(use_eifs=config.use_eifs),
+            timing=MacTiming.from_profile(profile, use_eifs=config.use_eifs),
             tracer=tracer,
             queue_capacity=config.ifq_capacity,
         )

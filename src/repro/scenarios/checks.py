@@ -14,9 +14,10 @@ import math
 from dataclasses import dataclass
 from typing import List
 
+from repro.phy.profiles import resolve_profile
 from repro.scenarios.config import ScenarioConfig
 
-# 802.11 at 2 Mb/s delivers roughly half the nominal bitrate as goodput
+# 802.11-style MACs deliver roughly half the nominal bitrate as goodput
 # once RTS/CTS/ACK, backoff and multi-hop forwarding take their share.
 _USABLE_CHANNEL_FRACTION = 0.5
 
@@ -32,8 +33,9 @@ class ScenarioWarning:
 
 def expected_degree(config: ScenarioConfig) -> float:
     """Expected neighbours per node under uniform node placement."""
+    rx_range = resolve_profile(config).rx_range
     area = config.field_width * config.field_height
-    footprint = math.pi * config.rx_range**2
+    footprint = math.pi * rx_range**2
     # Border effects ignored: fine for a heuristic.
     return (config.num_nodes - 1) * min(footprint / area, 1.0)
 
@@ -41,12 +43,13 @@ def expected_degree(config: ScenarioConfig) -> float:
 def offered_load_fraction(config: ScenarioConfig) -> float:
     """Offered application load as a fraction of usable channel capacity,
     accounting for multi-hop relaying (each hop re-spends airtime)."""
+    profile = resolve_profile(config)
     diag_hops = (
-        math.hypot(config.field_width, config.field_height) / config.rx_range
+        math.hypot(config.field_width, config.field_height) / profile.rx_range
     )
     average_hops = max(1.0, diag_hops / 3.0)  # crude mean-path estimate
     offered_bps = config.offered_load_kbps * 1000.0 * average_hops
-    return offered_bps / (2e6 * _USABLE_CHANNEL_FRACTION)
+    return offered_bps / (profile.bitrate * _USABLE_CHANNEL_FRACTION)
 
 
 def check_scenario(config: ScenarioConfig) -> List[ScenarioWarning]:

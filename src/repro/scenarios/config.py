@@ -28,8 +28,10 @@ class ScenarioConfig:
     min_speed: float = 0.1
     pause_time: float = 0.0
     duration: float = 500.0
-    mobility_model: str = "waypoint"  # "waypoint" | "gauss_markov" | "rpgm"
+    # "waypoint" | "gauss_markov" | "rpgm" | "random_walk"
+    mobility_model: str = "waypoint"
     rpgm_groups: int = 4
+    walk_epoch: float = 10.0  # random_walk: seconds between heading redraws
 
     # Traffic
     num_sessions: int = 25
@@ -39,9 +41,15 @@ class ScenarioConfig:
     traffic_type: str = "cbr"  # "cbr" (the paper) or "tcp" (related work)
 
     # Radio / MAC
+    # Radio technology profile (see repro.phy.profiles): geometry, bitrate,
+    # MAC timing, energy draws, loss shape and capture in one named bundle.
+    # "wavelan" is the paper's radio and keeps honouring the legacy
+    # rx_range/cs_range scalars below; other profiles are authoritative.
+    radio_profile: str = "wavelan"
     rx_range: float = 250.0
     cs_range: float = 550.0
     grey_zone_fraction: float = 0.0  # 0 = pure disk; 0.2 = lossy outer 20 %
+    link_loss: float = 0.0  # distance-independent frame-loss probability
     neighbor_quantum: float = 0.05
     # Spatial index behind the neighbour cache: "auto" picks the uniform-grid
     # cell list at >= repro.phy.spatial.GRID_AUTO_NODES nodes, the all-pairs
@@ -75,17 +83,33 @@ class ScenarioConfig:
             raise ConfigurationError(f"unknown protocol {self.protocol!r}")
         if not 0.0 <= self.grey_zone_fraction < 1.0:
             raise ConfigurationError("grey_zone_fraction must be in [0, 1)")
+        if not 0.0 <= self.link_loss < 1.0:
+            raise ConfigurationError("link_loss must be in [0, 1)")
+        from repro.phy.profiles import profile_names
+
+        if self.radio_profile not in profile_names():
+            raise ConfigurationError(
+                f"unknown radio profile {self.radio_profile!r} "
+                f"(choose from {profile_names()})"
+            )
         if self.neighbor_index not in ("auto", "allpairs", "grid"):
             raise ConfigurationError(
                 f"unknown neighbor_index {self.neighbor_index!r} "
                 "(choose auto, allpairs or grid)"
             )
-        if self.mobility_model not in ("waypoint", "gauss_markov", "rpgm"):
+        if self.mobility_model not in (
+            "waypoint",
+            "gauss_markov",
+            "rpgm",
+            "random_walk",
+        ):
             raise ConfigurationError(
                 f"unknown mobility model {self.mobility_model!r}"
             )
         if self.rpgm_groups < 1:
             raise ConfigurationError("rpgm_groups must be positive")
+        if self.walk_epoch <= 0:
+            raise ConfigurationError("walk_epoch must be positive")
         if self.traffic_type not in ("cbr", "tcp"):
             raise ConfigurationError(f"unknown traffic type {self.traffic_type!r}")
 

@@ -18,11 +18,27 @@ from repro.scenarios.config import ScenarioConfig
 
 PathLike = Union[str, Path]
 
+# Fields added after cache-format v1 shipped, with the values that reproduce
+# the pre-field behaviour exactly.  scenario_to_dict elides them when they
+# hold exactly these defaults, so the canonical JSON — and therefore every
+# content-addressed cache key computed before the field existed — is
+# unchanged for scenarios that don't use the new knob.  Non-default values
+# appear in the canonical JSON and key a distinct cache entry.  Entries here
+# are append-only: removing (or changing) one silently re-keys the cache.
+_POST_V1_COMPAT_DEFAULTS: Dict[str, Any] = {
+    "radio_profile": "wavelan",
+    "link_loss": 0.0,
+    "walk_epoch": 10.0,
+}
+
 
 def scenario_to_dict(config: ScenarioConfig) -> Dict[str, Any]:
     """A plain-JSON-types dict capturing the full configuration."""
     payload = dataclasses.asdict(config)
     payload["dsr"]["expiry_mode"] = config.dsr.expiry_mode.value
+    for key, compat_default in _POST_V1_COMPAT_DEFAULTS.items():
+        if payload[key] == compat_default:
+            del payload[key]
     return payload
 
 

@@ -70,6 +70,30 @@ def scaled_scenario(
     )
 
 
+def lossy_scenario(
+    link_loss: float = 0.15,
+    radio_profile: str = "wavelan",
+    dsr: DsrConfig | None = None,
+    seed: int = 1,
+    pause_time: float | None = None,
+) -> ScenarioConfig:
+    """A scaled scenario where link breaks are loss-driven, not mobility-driven.
+
+    The default freezes the network (pause = duration) so *every* MAC retry
+    exhaustion is caused by the probabilistic channel — the regime where
+    negative caches and adaptive timeouts face the opposite input to the
+    paper's mobility sweeps.  Pick a ``radio_profile`` to add that
+    technology's own grey zone and capture behaviour on top of the flat
+    ``link_loss``.
+    """
+    config = scaled_scenario(dsr=dsr, seed=seed)
+    return config.but(
+        pause_time=config.duration if pause_time is None else pause_time,
+        radio_profile=radio_profile,
+        link_loss=link_loss,
+    )
+
+
 def tiny_scenario(
     dsr: DsrConfig | None = None,
     seed: int = 1,

@@ -107,6 +107,9 @@ def _field_perturbations():
         "traffic_type": "tcp",
         "rx_range": 251.0,
         "cs_range": 551.0,
+        "radio_profile": "urban",
+        "link_loss": 0.1,
+        "walk_epoch": 12.0,
         "grey_zone_fraction": 0.2,
         "neighbor_quantum": 0.06,
         "neighbor_index": "grid",

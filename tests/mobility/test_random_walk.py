@@ -1,0 +1,104 @@
+"""Unit tests for the random-walk mobility model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility.random_walk import RandomWalkModel
+from repro.scenarios.builder import build_simulation
+from repro.scenarios.presets import tiny_scenario
+
+
+def _model(seed=1, **overrides):
+    params = dict(
+        num_nodes=6,
+        width=500.0,
+        height=300.0,
+        duration=60.0,
+        rng=np.random.default_rng(seed),
+        max_speed=20.0,
+        min_speed=0.1,
+        epoch=10.0,
+    )
+    params.update(overrides)
+    return RandomWalkModel(**params)
+
+
+def test_positions_stay_inside_the_field():
+    model = _model(seed=7)
+    for t in np.linspace(0.0, 60.0, 241):
+        positions = model.positions(float(t))
+        assert np.all(positions[:, 0] >= -1e-9)
+        assert np.all(positions[:, 0] <= 500.0 + 1e-9)
+        assert np.all(positions[:, 1] >= -1e-9)
+        assert np.all(positions[:, 1] <= 300.0 + 1e-9)
+
+
+def test_same_seed_same_walk():
+    a, b = _model(seed=3), _model(seed=3)
+    for t in (0.0, 13.7, 42.0, 60.0):
+        assert np.array_equal(a.positions(t), b.positions(t))
+    c = _model(seed=4)
+    assert not np.array_equal(a.positions(42.0), c.positions(42.0))
+
+
+def test_vectorized_positions_match_scalar_position():
+    # The lazy piecewise-linear contract: positions(t) rows must be
+    # bit-identical to per-node position() queries.
+    model = _model(seed=11)
+    for t in (0.0, 5.0, 17.3, 59.99, 60.0):
+        batch = model.positions(t)
+        for row, node_id in enumerate(model.node_ids):
+            x, y = model.position(node_id, t)
+            assert batch[row, 0] == x
+            assert batch[row, 1] == y
+
+
+def test_speed_bound_covers_every_segment():
+    model = _model(seed=5, max_speed=12.0)
+    bound = model.speed_bound()
+    assert 0.0 < bound <= 12.0 + 1e-9
+    # Displacement over any interval is bounded by speed_bound * dt — what
+    # the grid index's re-bucketing slack relies on.
+    dt = 0.5
+    previous = model.positions(0.0)
+    for step in range(1, 120):
+        current = model.positions(step * dt)
+        moved = np.hypot(*(current - previous).T)
+        assert np.all(moved <= bound * dt + 1e-9)
+        previous = current
+
+
+def test_nodes_keep_moving_between_epochs():
+    # Unlike waypoint-with-pause, a random walk never rests mid-run.
+    model = _model(seed=2, min_speed=1.0)
+    a = model.positions(20.0)
+    b = model.positions(21.0)
+    assert np.all(np.hypot(*(b - a).T) > 1e-6)
+
+
+def test_terminal_rest_beyond_duration():
+    model = _model(seed=9)
+    late = model.positions(200.0)
+    later = model.positions(300.0)
+    assert np.array_equal(late, later)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        _model(epoch=0.0)
+    with pytest.raises(ConfigurationError):
+        _model(min_speed=0.0)
+    with pytest.raises(ConfigurationError):
+        _model(num_nodes=0)
+
+
+def test_scenario_config_builds_random_walk():
+    config = tiny_scenario(seed=4).but(
+        mobility_model="random_walk", walk_epoch=5.0, duration=20.0
+    )
+    handle = build_simulation(config)
+    assert isinstance(handle.mobility, RandomWalkModel)
+    assert handle.mobility.epoch == 5.0
+    with pytest.raises(ConfigurationError):
+        config.but(walk_epoch=0.0)

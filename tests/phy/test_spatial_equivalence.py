@@ -180,6 +180,90 @@ def test_fast_mover_crossing_cells():
         _assert_equivalent_at(allpairs, grid, [0, 1, 2, 3], float(t), rng)
 
 
+# -- non-default ranges (radio profiles) --------------------------------------
+
+# The grid derives its cell pitch from the propagation's carrier-sense
+# range; nothing in the equivalence contract may assume WaveLAN's 250/550 m.
+# One geometry per radio-profile regime: short-range high-density (urban)
+# and long-range sparse (longhaul), plus an asymmetric rx << cs split.
+NON_WAVELAN_PROPAGATIONS = [
+    DiskPropagation(rx_range=120.0, cs_range=264.0),
+    DiskPropagation(rx_range=1200.0, cs_range=2640.0),
+    DiskPropagation(rx_range=60.0, cs_range=600.0),
+]
+
+
+@pytest.mark.parametrize(
+    "propagation",
+    NON_WAVELAN_PROPAGATIONS,
+    ids=lambda p: f"rx{p.rx_range:g}-cs{p.cs_range:g}",
+)
+def test_non_default_range_static_equivalence(propagation):
+    """Cell-seam and decision-radius layouts scaled to the profile's own
+    ranges — the adversarial cases of test_cell_boundary_positions, minus
+    the hard-coded 250/550 m."""
+    cell = propagation.cs_range
+    rx = propagation.rx_range
+    positions = [
+        (0.0, 0.0),
+        (cell, 0.0),  # exactly one cell over
+        (cell, cell),
+        (2 * cell, 0.0),  # two cells: sensed by nobody at the origin
+        (rx, 0.0),  # exactly at the receive radius
+        (np.nextafter(rx, np.inf), 0.0),  # just beyond
+        (-cell, -cell),
+        (np.nextafter(cell, 0.0), 0.0),
+    ]
+    allpairs = NeighborCache(StaticModel(positions), propagation, index="allpairs")
+    grid = NeighborCache(StaticModel(positions), propagation, index="grid")
+    rng = np.random.default_rng(19)
+    _assert_equivalent_at(allpairs, grid, list(range(len(positions))), 0.0, rng)
+
+
+@pytest.mark.parametrize(
+    "propagation",
+    NON_WAVELAN_PROPAGATIONS,
+    ids=lambda p: f"rx{p.rx_range:g}-cs{p.cs_range:g}",
+)
+def test_non_default_range_mobile_equivalence(propagation):
+    """A mobile run on a field sized ~6 cells across, so bucket reuse and
+    rebucketing both trigger at every pitch."""
+
+    def factory():
+        return RandomWaypointModel(
+            num_nodes=24,
+            width=6.0 * propagation.cs_range,
+            height=2.0 * propagation.cs_range,
+            duration=12.0,
+            rng=np.random.default_rng(13),
+            max_speed=20.0,
+            pause_time=0.0,
+        )
+
+    allpairs = NeighborCache(factory(), propagation, index="allpairs")
+    grid = NeighborCache(factory(), propagation, index="grid")
+    rng = np.random.default_rng(37)
+    for t in np.arange(0.0, 12.0, 0.61):
+        assert allpairs.tick(float(t)) == grid.tick(float(t))
+        _assert_equivalent_at(allpairs, grid, list(range(24)), float(t), rng)
+
+
+def test_profile_ranges_flow_into_the_grid_pitch():
+    """End to end: a non-wavelan profile's carrier-sense range must reach
+    the spatial index through the builder, not stay at 550 m."""
+    from repro.phy.profiles import get_profile
+    from repro.scenarios.builder import build_simulation
+    from repro.scenarios.presets import tiny_scenario
+
+    config = tiny_scenario().but(
+        radio_profile="urban", duration=1.0, neighbor_index="grid"
+    )
+    handle = build_simulation(config)
+    urban = get_profile("urban")
+    assert handle.neighbors.propagation.rx_range == urban.rx_range
+    assert handle.neighbors.propagation.cs_range == urban.cs_range
+
+
 # -- selection & API ---------------------------------------------------------
 
 

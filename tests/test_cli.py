@@ -211,3 +211,78 @@ def test_cli_cache_prune_runs_gc_after_sweep(tmp_path, capsys):
     # The generous bounds kept the fresh entry; a warm re-run still hits.
     assert main(args) == 0
     assert "1 hit(s)" in capsys.readouterr().err
+
+
+def test_cli_radio_profile_and_link_loss(capsys):
+    exit_code = main(
+        [
+            "--preset",
+            "tiny",
+            "--radio-profile",
+            "urban",
+            "--link-loss",
+            "0.1",
+            "--duration",
+            "15",
+        ]
+    )
+    assert exit_code == 0
+    assert "packet delivery fraction" in capsys.readouterr().out
+
+
+def test_cli_rejects_unknown_radio_profile():
+    with pytest.raises(SystemExit):
+        main(["--radio-profile", "bluetooth"])
+
+
+def test_cli_random_walk_mobility(capsys):
+    exit_code = main(
+        ["--preset", "tiny", "--mobility", "random_walk", "--duration", "15"]
+    )
+    assert exit_code == 0
+    assert "packet delivery fraction" in capsys.readouterr().out
+
+
+def test_cli_loss_sweep(capsys):
+    exit_code = main(
+        ["--preset", "tiny", "--loss-sweep", "0,0.3", "--seed", "2"]
+    )
+    assert exit_code == 0
+    out = capsys.readouterr().out
+    assert "# Loss sweep" in out
+    assert "loss 0.3" in out
+    assert "AllTechniques" in out
+
+
+def test_cli_loss_sweep_rejects_bad_levels(capsys):
+    assert main(["--loss-sweep", "0.1,banana"]) == 2
+    assert main(["--loss-sweep", ","]) == 2
+    err = capsys.readouterr().err
+    assert "comma-separated floats" in err
+    assert "at least one loss level" in err
+
+
+def test_cli_profile_config_roundtrip(tmp_path, capsys):
+    from repro.scenarios.io import load_scenario
+
+    saved = tmp_path / "urban.json"
+    exit_code = main(
+        [
+            "--preset",
+            "tiny",
+            "--radio-profile",
+            "urban",
+            "--link-loss",
+            "0.2",
+            "--duration",
+            "10",
+            "--save-config",
+            str(saved),
+        ]
+    )
+    assert exit_code == 0
+    config = load_scenario(saved)
+    assert config.radio_profile == "urban"
+    assert config.link_loss == 0.2
+    capsys.readouterr()
+    assert main(["--config", str(saved)]) == 0
